@@ -1,0 +1,79 @@
+// Command irsim regenerates the paper's tables and figures on the
+// simulator.
+//
+// Usage:
+//
+//	irsim [-runs N] [-seed S] [-v] list
+//	irsim [-runs N] [-seed S] [-v] all
+//	irsim [-runs N] [-seed S] [-v] fig5 fig6 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("irsim", flag.ContinueOnError)
+	runs := fs.Int("runs", 3, "simulated runs per data point (paper: 5)")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	verbose := fs.Bool("v", false, "log each measurement")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		usage(fs)
+		return 2
+	}
+
+	opt := experiments.Options{Runs: *runs, Seed: *seed}
+	if *verbose {
+		opt.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	ids := fs.Args()
+	if len(ids) == 1 {
+		switch strings.ToLower(ids[0]) {
+		case "list":
+			for _, id := range experiments.IDs() {
+				fmt.Println(id)
+			}
+			return 0
+		case "all":
+			ids = experiments.IDs()
+		}
+	}
+
+	bad := 0
+	for _, id := range ids {
+		start := time.Now()
+		tb, ok := experiments.ByID(id, opt)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "irsim: unknown experiment %q (try: irsim list)\n", id)
+			bad++
+			continue
+		}
+		fmt.Print(tb)
+		fmt.Printf("(%.1fs wall)\n\n", time.Since(start).Seconds())
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func usage(fs *flag.FlagSet) {
+	fmt.Fprintln(os.Stderr, "usage: irsim [flags] list | all | <figure-id>...")
+	fs.PrintDefaults()
+}

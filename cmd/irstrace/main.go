@@ -1,0 +1,131 @@
+// Command irstrace runs a small interference scenario with tracing
+// enabled and dumps the scheduling timeline: vCPU state transitions,
+// pCPU context switches, scheduler activations, and guest task
+// migrations. Useful for seeing exactly how IRS reacts to a
+// preemption.
+//
+// Usage:
+//
+//	irstrace [-bench streamcluster] [-strategy irs] [-inter 1]
+//	         [-window 200ms] [-at 1s] [-kinds sa,migrate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("irstrace", flag.ContinueOnError)
+	benchName := fs.String("bench", "streamcluster", "benchmark to trace")
+	stratName := fs.String("strategy", "irs", "vanilla | ple | relaxed-co | irs")
+	inter := fs.Int("inter", 1, "number of interfering CPU hogs")
+	at := fs.Duration("at", time.Second, "start of the dump window (virtual time)")
+	window := fs.Duration("window", 100*time.Millisecond, "length of the dump window")
+	kindsArg := fs.String("kinds", "", "comma-separated filter: vcpu,switch,sa,task,migrate")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var strat core.Strategy
+	switch *stratName {
+	case "vanilla":
+		strat = core.StrategyVanilla
+	case "ple":
+		strat = core.StrategyPLE
+	case "relaxed-co":
+		strat = core.StrategyRelaxedCo
+	case "irs":
+		strat = core.StrategyIRS
+	default:
+		fmt.Fprintf(os.Stderr, "irstrace: unknown strategy %q\n", *stratName)
+		return 2
+	}
+	bench, ok := workload.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "irstrace: unknown benchmark %q\n", *benchName)
+		return 1
+	}
+
+	log := trace.NewLog(500000)
+	fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
+	fg.IRS = strat == core.StrategyIRS
+	vms := []core.VMSpec{fg}
+	if *inter > 0 {
+		vms = append(vms, core.HogVM("bg", *inter, core.SeqPins(0, *inter)))
+	}
+	scn := core.Scenario{
+		PCPUs:    4,
+		Strategy: strat,
+		Seed:     *seed,
+		VMs:      vms,
+		TuneHV:   func(c *hypervisor.Config) { c.Trace = log },
+		TuneGuest: func(name string, c *guest.Config) {
+			if name == "fg" {
+				c.Trace = log
+			}
+		},
+	}
+	res, err := core.Run(scn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irstrace: %v\n", err)
+		return 1
+	}
+
+	from := sim.Duration(*at)
+	to := from + sim.Duration(*window)
+	events := log.Events()
+	allowed := parseKinds(*kindsArg)
+	shown := 0
+	for _, e := range events {
+		if e.At < from || e.At > to {
+			continue
+		}
+		if allowed != nil && !allowed[e.Kind] {
+			continue
+		}
+		fmt.Println(e)
+		shown++
+	}
+	fmt.Printf("\n%d events shown (window %v..%v); totals: %s\n", shown, from, to, log.Summary())
+	fmt.Printf("runtime=%v SA sent/acked/expired=%d/%d/%d\n",
+		res.VM("fg").Runtime, res.SASent, res.SAAcked, res.SAExpired)
+	return 0
+}
+
+func parseKinds(arg string) map[trace.Kind]bool {
+	if arg == "" {
+		return nil
+	}
+	m := map[trace.Kind]bool{}
+	for _, part := range strings.Split(arg, ",") {
+		switch strings.TrimSpace(part) {
+		case "vcpu":
+			m[trace.KindVCPUState] = true
+		case "switch":
+			m[trace.KindSwitch] = true
+		case "sa":
+			m[trace.KindSA] = true
+		case "task":
+			m[trace.KindTask] = true
+		case "migrate":
+			m[trace.KindMigrate] = true
+		}
+	}
+	return m
+}

@@ -1,0 +1,123 @@
+// Command irsweep runs ad-hoc parameter sweeps: one benchmark, a range
+// of interference levels, all four scheduling strategies.
+//
+// Usage:
+//
+//	irsweep -bench streamcluster -inter 0,1,2,4 [-mode spin|block] [-vcpus 4]
+//	        [-unpinned] [-seed S] [-runs N]
+//	irsweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("irsweep", flag.ContinueOnError)
+	benchName := fs.String("bench", "streamcluster", "benchmark name (see -list)")
+	interList := fs.String("inter", "0,1,2,4", "comma-separated interference levels")
+	modeName := fs.String("mode", "", "override wait policy: spin or block")
+	vcpus := fs.Int("vcpus", 4, "foreground vCPUs (== pCPUs)")
+	unpinned := fs.Bool("unpinned", false, "leave vCPUs unpinned (stacking setup)")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	runs := fs.Int("runs", 3, "runs per data point")
+	list := fs.Bool("list", false, "list benchmark names and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return 0
+	}
+
+	bench, ok := workload.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "irsweep: unknown benchmark %q (try -list)\n", *benchName)
+		return 1
+	}
+	var mode workload.SyncMode
+	switch *modeName {
+	case "":
+	case "spin":
+		mode = workload.SyncSpinning
+	case "block":
+		mode = workload.SyncBlocking
+	default:
+		fmt.Fprintf(os.Stderr, "irsweep: bad -mode %q\n", *modeName)
+		return 2
+	}
+
+	var levels []int
+	for _, part := range strings.Split(*interList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "irsweep: bad -inter entry %q\n", part)
+			return 2
+		}
+		levels = append(levels, n)
+	}
+
+	fmt.Printf("%-10s", "inter")
+	for _, st := range core.Strategies() {
+		fmt.Printf("  %-12s", st)
+	}
+	fmt.Println()
+	for _, lvl := range levels {
+		fmt.Printf("%-10d", lvl)
+		for _, st := range core.Strategies() {
+			mean, err := sweepPoint(bench, mode, st, lvl, *vcpus, *unpinned, *seed, *runs)
+			if err != nil {
+				fmt.Printf("  %-12s", "ERR")
+				continue
+			}
+			fmt.Printf("  %-12s", fmt.Sprintf("%.3fs", mean))
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+func sweepPoint(bench workload.Benchmark, mode workload.SyncMode, strat core.Strategy, inter, vcpus int, unpinned bool, seed uint64, runs int) (float64, error) {
+	var rts []float64
+	for i := 0; i < runs; i++ {
+		var fgPins, bgPins []int
+		if !unpinned {
+			fgPins = core.SeqPins(0, vcpus)
+			bgPins = core.SeqPins(0, inter)
+		}
+		fg := core.BenchmarkVM("fg", bench, mode, vcpus, fgPins)
+		fg.IRS = strat == core.StrategyIRS
+		vms := []core.VMSpec{fg}
+		if inter > 0 {
+			vms = append(vms, core.HogVM("bg", inter, bgPins))
+		}
+		res, err := core.Run(core.Scenario{
+			PCPUs:    vcpus,
+			Strategy: strat,
+			Seed:     seed + uint64(i)*7919,
+			Unpinned: unpinned,
+			Horizon:  1800 * sim.Second,
+			VMs:      vms,
+		})
+		if err != nil {
+			return 0, err
+		}
+		rts = append(rts, res.VM("fg").Runtime.Seconds())
+	}
+	return metrics.Summarize(rts).Mean, nil
+}

@@ -1,0 +1,62 @@
+// Parsec: an interference study across synchronization structures.
+//
+// Runs four PARSEC-style benchmarks with different synchronization
+// (barrier-coarse, barrier-fine, mutex point-to-point, user-level work
+// stealing) against 1 and 2 interfering CPU hogs, under all four
+// scheduling strategies, and prints runtimes plus IRS improvement.
+// This reproduces the qualitative structure of Figure 5 on a small
+// scale: barrier-heavy programs benefit most from IRS, work stealing
+// needs no help.
+//
+//	go run ./examples/parsec
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	benchNames := []string{"blackscholes", "streamcluster", "x264", "raytrace"}
+	levels := []int{1, 2}
+
+	for _, name := range benchNames {
+		bench, ok := workload.ByName(name)
+		if !ok {
+			log.Fatalf("%s not in catalog", name)
+		}
+		fmt.Printf("== %s ==\n", name)
+		for _, lvl := range levels {
+			fmt.Printf("  %d-inter:", lvl)
+			var vanilla float64
+			for _, strat := range core.Strategies() {
+				fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
+				fg.IRS = strat == core.StrategyIRS
+				res, err := core.Run(core.Scenario{
+					PCPUs:    4,
+					Strategy: strat,
+					Seed:     7,
+					VMs: []core.VMSpec{
+						fg,
+						core.HogVM("bg", lvl, core.SeqPins(0, lvl)),
+					},
+				})
+				if err != nil {
+					log.Fatalf("%s %s: %v", name, strat, err)
+				}
+				rt := res.VM("fg").Runtime.Seconds()
+				if strat == core.StrategyVanilla {
+					vanilla = rt
+				}
+				fmt.Printf("  %s=%.2fs", strat, rt)
+				if strat == core.StrategyIRS && vanilla > 0 {
+					fmt.Printf(" (%+.0f%%)", (vanilla-rt)/vanilla*100)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

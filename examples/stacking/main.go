@@ -1,0 +1,69 @@
+// Stacking: the CPU-stacking pathology of §5.6.
+//
+// When all vCPUs are unpinned, the hypervisor's VM-oblivious balancer
+// can place sibling vCPUs on the same pCPU. Blocking workloads are
+// especially vulnerable: sleeping waiters look idle (deceptive
+// idleness), so the balancer herds them onto one "least loaded" pCPU,
+// and a whole barrier generation then executes serially. This example
+// measures a spinning (MG) and a blocking (streamcluster) workload
+// pinned vs unpinned, then shows how much of the stacking penalty each
+// strategy recovers.
+//
+//	go run ./examples/stacking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	cases := []struct {
+		name string
+		mode workload.SyncMode
+	}{
+		{"MG", workload.SyncSpinning},
+		{"streamcluster", 0},
+	}
+	for _, c := range cases {
+		bench, ok := workload.ByName(c.name)
+		if !ok {
+			log.Fatalf("%s not in catalog", c.name)
+		}
+		pinned := measure(bench, c.mode, core.StrategyVanilla, false)
+		fmt.Printf("== %s (4 hogs) ==\n  pinned vanilla: %.2fs\n", c.name, pinned)
+		for _, strat := range core.Strategies() {
+			rt := measure(bench, c.mode, strat, true)
+			fmt.Printf("  unpinned %-10s: %.2fs (stacking penalty %.2fx)\n", strat, rt, rt/pinned)
+		}
+	}
+}
+
+func measure(bench workload.Benchmark, mode workload.SyncMode, strat core.Strategy, unpinned bool) float64 {
+	var fgPins, bgPins []int
+	if !unpinned {
+		fgPins = core.SeqPins(0, 4)
+		bgPins = core.SeqPins(0, 4)
+	}
+	fg := core.BenchmarkVM("fg", bench, mode, 4, fgPins)
+	fg.IRS = strat == core.StrategyIRS
+	res, err := core.Run(core.Scenario{
+		PCPUs:    4,
+		Strategy: strat,
+		Seed:     11,
+		Unpinned: unpinned,
+		Horizon:  1800 * sim.Second,
+		VMs: []core.VMSpec{
+			fg,
+			core.HogVM("bg", 4, bgPins),
+		},
+	})
+	if err != nil {
+		log.Fatalf("%s %v: %v", bench.Name, strat, err)
+	}
+	return res.VM("fg").Runtime.Seconds()
+}

@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestSeqPins(t *testing.T) {
+	got := core.SeqPins(2, 3)
+	want := []int{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SeqPins = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	bench, _ := workload.ByName("EP")
+	cases := []struct {
+		name string
+		scn  core.Scenario
+	}{
+		{"no pcpus", core.Scenario{VMs: []core.VMSpec{core.BenchmarkVM("fg", bench, 0, 1, nil)}}},
+		{"no vms", core.Scenario{PCPUs: 2}},
+		{"bad pin count", core.Scenario{PCPUs: 2, VMs: []core.VMSpec{
+			core.BenchmarkVM("fg", bench, 0, 2, []int{0}),
+		}}},
+		{"pin out of range", core.Scenario{PCPUs: 2, VMs: []core.VMSpec{
+			core.BenchmarkVM("fg", bench, 0, 1, []int{5}),
+		}}},
+		{"no workload", core.Scenario{PCPUs: 2, VMs: []core.VMSpec{{Name: "x", VCPUs: 1}}}},
+	}
+	for _, c := range cases {
+		if _, err := core.Build(c.scn); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestRepeatRunsDistinctSeeds(t *testing.T) {
+	bench, _ := workload.ByName("IS")
+	scn := core.Scenario{
+		PCPUs:    4,
+		Strategy: core.StrategyVanilla,
+		Seed:     5,
+		VMs: []core.VMSpec{
+			core.BenchmarkVM("fg", bench, workload.SyncSpinning, 4, core.SeqPins(0, 4)),
+			core.HogVM("bg", 1, core.SeqPins(0, 1)),
+		},
+	}
+	rts, err := core.RepeatRuns(scn, "fg", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rts) != 3 {
+		t.Fatalf("got %d runtimes", len(rts))
+	}
+	// Different seeds should give (slightly) different runtimes.
+	if rts[0] == rts[1] && rts[1] == rts[2] {
+		t.Fatal("all runs identical; seeds not varied")
+	}
+	mean, err := core.MeanRuntime(scn, "fg", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Fatal("zero mean runtime")
+	}
+}
+
+func TestBackgroundVMRepeats(t *testing.T) {
+	fgBench, _ := workload.ByName("EP")
+	bgBench, _ := workload.ByName("IS")
+	scn := core.Scenario{
+		PCPUs:    4,
+		Strategy: core.StrategyVanilla,
+		VMs: []core.VMSpec{
+			core.BenchmarkVM("fg", fgBench, workload.SyncBlocking, 4, core.SeqPins(0, 4)),
+			core.BackgroundVM("bg", bgBench, workload.SyncSpinning, 2, core.SeqPins(0, 2)),
+		},
+	}
+	res, err := core.Run(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := res.VM("bg")
+	if bg.Completions < 1 {
+		t.Fatal("background benchmark never completed")
+	}
+	if bg.MeanRuntime <= 0 {
+		t.Fatal("no background mean runtime")
+	}
+	if res.VM("fg").Runtime <= 0 {
+		t.Fatal("foreground did not finish")
+	}
+}
+
+func TestServerVMStats(t *testing.T) {
+	spec := workload.ServerSpec{
+		Name: "s", Threads: 2, Service: 2 * sim.Millisecond, Duration: sim.Second,
+	}
+	vmSpec, stats := core.ServerVM("fg", spec, 2, core.SeqPins(0, 2))
+	res, err := core.Run(core.Scenario{
+		PCPUs: 2, Strategy: core.StrategyVanilla, VMs: []core.VMSpec{vmSpec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *stats == nil {
+		t.Fatal("stats pointer never filled")
+	}
+	if (*stats).Requests == 0 {
+		t.Fatal("no requests")
+	}
+	_ = res
+}
+
+func TestResultVMLookup(t *testing.T) {
+	bench, _ := workload.ByName("EP")
+	res, err := core.Run(core.Scenario{
+		PCPUs:    2,
+		Strategy: core.StrategyVanilla,
+		VMs:      []core.VMSpec{core.BenchmarkVM("only", bench, workload.SyncBlocking, 2, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VM("only") == nil {
+		t.Fatal("VM lookup failed")
+	}
+	if res.VM("missing") != nil {
+		t.Fatal("bogus VM lookup succeeded")
+	}
+}
+
+func TestErrUnfinishedWrapped(t *testing.T) {
+	bench, _ := workload.ByName("BT")
+	scn := core.Scenario{
+		PCPUs:    4,
+		Strategy: core.StrategyVanilla,
+		Horizon:  50 * sim.Millisecond,
+		VMs:      []core.VMSpec{core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))},
+	}
+	_, err := core.Run(scn)
+	if !errors.Is(err, core.ErrUnfinished) {
+		t.Fatalf("err = %v, want ErrUnfinished", err)
+	}
+}
+
+func TestStrategiesOrder(t *testing.T) {
+	ss := core.Strategies()
+	if len(ss) != 4 {
+		t.Fatalf("strategies = %v", ss)
+	}
+	if ss[0] != core.StrategyVanilla || ss[3] != core.StrategyIRS {
+		t.Fatalf("unexpected order: %v", ss)
+	}
+}
+
+func TestUtilizationHelper(t *testing.T) {
+	bench, _ := workload.ByName("EP")
+	res, err := core.Run(core.Scenario{
+		PCPUs:    2,
+		Strategy: core.StrategyVanilla,
+		VMs:      []core.VMSpec{core.BenchmarkVM("fg", bench, workload.SyncBlocking, 2, core.SeqPins(0, 2))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := core.Utilization(res, "fg", 2*res.Elapsed)
+	if util < 0.9 || util > 1.01 {
+		t.Fatalf("uncontended utilization = %.2f, want ~1", util)
+	}
+	if core.Utilization(res, "fg", 0) != 0 {
+		t.Fatal("zero fair share should yield 0")
+	}
+	if core.Utilization(res, "nope", res.Elapsed) != 0 {
+		t.Fatal("missing VM should yield 0")
+	}
+}

@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// scenario builds the paper's standard pinned setup: a 4-vCPU
+// foreground VM on pCPUs 0-3 and nInter CPU hogs sharing pCPUs 0..n-1.
+func scenario(bench workload.Benchmark, mode workload.SyncMode, strat core.Strategy, nInter int, seed uint64) core.Scenario {
+	fg := core.BenchmarkVM("fg", bench, mode, 4, core.SeqPins(0, 4))
+	fg.IRS = strat == core.StrategyIRS
+	vms := []core.VMSpec{fg}
+	if nInter > 0 {
+		vms = append(vms, core.HogVM("bg", nInter, core.SeqPins(0, nInter)))
+	}
+	return core.Scenario{
+		PCPUs:    4,
+		Strategy: strat,
+		Seed:     seed,
+		VMs:      vms,
+	}
+}
+
+func mustRun(t *testing.T, scn core.Scenario) *core.Result {
+	t.Helper()
+	res, err := core.Run(scn)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestBenchmarkRunsAloneCloseToNominal(t *testing.T) {
+	bench, ok := workload.ByName("streamcluster")
+	if !ok {
+		t.Fatal("streamcluster not in catalog")
+	}
+	res := mustRun(t, scenario(bench, 0, core.StrategyVanilla, 0, 1))
+	nominal := bench.Parallel.TotalWork()
+	rt := res.VM("fg").Runtime
+	if rt < nominal {
+		t.Fatalf("runtime %v below nominal per-thread work %v", rt, nominal)
+	}
+	if rt > nominal*3/2 {
+		t.Fatalf("runtime %v too far above nominal %v (imbalance+overhead should be small)", rt, nominal)
+	}
+}
+
+func TestInterferenceSlowsBlockingBarrierWorkload(t *testing.T) {
+	bench, _ := workload.ByName("streamcluster")
+	alone := mustRun(t, scenario(bench, 0, core.StrategyVanilla, 0, 1)).VM("fg").Runtime
+	inter := mustRun(t, scenario(bench, 0, core.StrategyVanilla, 1, 1)).VM("fg").Runtime
+	slowdown := float64(inter) / float64(alone)
+	// Figure 1(a): barrier workloads suffer ~2-3.5x under one interferer.
+	if slowdown < 1.5 {
+		t.Fatalf("slowdown %.2f too small; LHP/LWP dynamics missing", slowdown)
+	}
+	if slowdown > 5 {
+		t.Fatalf("slowdown %.2f implausibly large", slowdown)
+	}
+}
+
+func TestIRSImprovesBlockingWorkloadUnderInterference(t *testing.T) {
+	bench, _ := workload.ByName("streamcluster")
+	van := mustRun(t, scenario(bench, 0, core.StrategyVanilla, 1, 1)).VM("fg").Runtime
+	irs := mustRun(t, scenario(bench, 0, core.StrategyIRS, 1, 1)).VM("fg").Runtime
+	imp := (float64(van) - float64(irs)) / float64(van) * 100
+	t.Logf("vanilla=%v irs=%v improvement=%.1f%%", van, irs, imp)
+	if imp < 10 {
+		t.Fatalf("IRS improvement %.1f%%, want >=10%% (paper: up to 42%%)", imp)
+	}
+}
+
+func TestIRSImprovesSpinningWorkloadUnderInterference(t *testing.T) {
+	bench, _ := workload.ByName("MG")
+	van := mustRun(t, scenario(bench, workload.SyncSpinning, core.StrategyVanilla, 1, 1)).VM("fg").Runtime
+	irs := mustRun(t, scenario(bench, workload.SyncSpinning, core.StrategyIRS, 1, 1)).VM("fg").Runtime
+	imp := (float64(van) - float64(irs)) / float64(van) * 100
+	t.Logf("vanilla=%v irs=%v improvement=%.1f%%", van, irs, imp)
+	if imp < 5 {
+		t.Fatalf("IRS improvement %.1f%%, want >=5%% for spinning (paper: up to 43%%)", imp)
+	}
+}
+
+func TestWorkStealingResilientToInterference(t *testing.T) {
+	bench, _ := workload.ByName("raytrace")
+	alone := mustRun(t, scenario(bench, 0, core.StrategyVanilla, 0, 1)).VM("fg").Runtime
+	inter := mustRun(t, scenario(bench, 0, core.StrategyVanilla, 1, 1)).VM("fg").Runtime
+	slowdown := float64(inter) / float64(alone)
+	// Figure 1(a): raytrace stays near 1x; allow up to ~1.45x
+	// (it loses 1/8 of machine capacity to the hog).
+	if slowdown > 1.45 {
+		t.Fatalf("work-stealing slowdown %.2f, want < 1.45", slowdown)
+	}
+}
+
+func TestBlockingWorkloadUnderutilizesFairShare(t *testing.T) {
+	bench, _ := workload.ByName("streamcluster")
+	res := mustRun(t, scenario(bench, 0, core.StrategyVanilla, 1, 1))
+	// Fair share: pCPU0 shared with the hog (1/2) + 3 exclusive pCPUs.
+	elapsed := res.Elapsed
+	fair := elapsed/2 + 3*elapsed
+	util := core.Utilization(res, "fg", fair)
+	// Figure 2: blocking workloads fall well short of fair share.
+	if util > 0.9 {
+		t.Fatalf("utilization %.2f, want < 0.9 (deceptive idleness)", util)
+	}
+	if util < 0.2 {
+		t.Fatalf("utilization %.2f implausibly low", util)
+	}
+}
+
+func TestLHPAndLWPEventsOccur(t *testing.T) {
+	// A lock-bound workload with long critical sections: preemptions
+	// under contention must land on lock holders or waiters sometimes.
+	spec := workload.ParallelSpec{
+		Name: "lockheavy", Mode: workload.SyncSpinning,
+		Iterations: 300, Work: 2 * sim.Millisecond,
+		LocksPerIter: 4, CSLen: 300 * sim.Microsecond,
+	}
+	var lhp, lwp int64
+	for seed := uint64(1); seed <= 3; seed++ {
+		fg := core.VMSpec{
+			Name:  "fg",
+			VCPUs: 4,
+			Pin:   core.SeqPins(0, 4),
+			Attach: func(k *guest.Kernel, s uint64) *workload.Instance {
+				return workload.NewParallel(k, spec, s)
+			},
+		}
+		res, err := core.Run(core.Scenario{
+			PCPUs: 4, Strategy: core.StrategyVanilla, Seed: seed,
+			VMs: []core.VMSpec{fg, core.HogVM("bg", 2, core.SeqPins(0, 2))},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhp += res.VM("fg").LHP
+		lwp += res.VM("fg").LWP
+	}
+	if lhp == 0 {
+		t.Fatal("no LHP events across 3 contended lock-heavy runs")
+	}
+	if lwp == 0 {
+		t.Fatal("no LWP events across 3 contended lock-heavy runs")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	bench, _ := workload.ByName("CG")
+	a := mustRun(t, scenario(bench, 0, core.StrategyIRS, 2, 42))
+	b := mustRun(t, scenario(bench, 0, core.StrategyIRS, 2, 42))
+	if a.VM("fg").Runtime != b.VM("fg").Runtime {
+		t.Fatalf("non-deterministic runtimes: %v vs %v", a.VM("fg").Runtime, b.VM("fg").Runtime)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("non-deterministic event counts: %d vs %d", a.Events, b.Events)
+	}
+}
+
+func TestHorizonErrorOnUnfinishedWorkload(t *testing.T) {
+	bench, _ := workload.ByName("streamcluster")
+	scn := scenario(bench, 0, core.StrategyVanilla, 1, 1)
+	scn.Horizon = 100 * sim.Millisecond
+	_, err := core.Run(scn)
+	if err == nil {
+		t.Fatal("expected horizon error")
+	}
+}

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/workload"
+)
+
+// measure runs bench under strat with nInter hogs and returns seconds.
+func measure(t *testing.T, name string, mode workload.SyncMode, strat core.Strategy, nInter int, tune func(string, *guest.Config)) float64 {
+	t.Helper()
+	bench, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	fg := core.BenchmarkVM("fg", bench, mode, 4, core.SeqPins(0, 4))
+	fg.IRS = strat == core.StrategyIRS
+	vms := []core.VMSpec{fg}
+	if nInter > 0 {
+		vms = append(vms, core.HogVM("bg", nInter, core.SeqPins(0, nInter)))
+	}
+	res, err := core.Run(core.Scenario{
+		PCPUs: 4, Strategy: strat, Seed: 1, VMs: vms, TuneGuest: tune,
+	})
+	if err != nil {
+		t.Fatalf("%s %v: %v", name, strat, err)
+	}
+	return res.VM("fg").Runtime.Seconds()
+}
+
+func TestIRSBeatsVanillaForSpinningFineGrain(t *testing.T) {
+	van := measure(t, "CG", workload.SyncSpinning, core.StrategyVanilla, 1, nil)
+	irs := measure(t, "CG", workload.SyncSpinning, core.StrategyIRS, 1, nil)
+	if irs >= van {
+		t.Fatalf("IRS %.2fs not better than vanilla %.2fs", irs, van)
+	}
+}
+
+func TestPLEHelpsSpinningUnderContention(t *testing.T) {
+	van := measure(t, "CG", workload.SyncSpinning, core.StrategyVanilla, 2, nil)
+	ple := measure(t, "CG", workload.SyncSpinning, core.StrategyPLE, 2, nil)
+	if ple >= van {
+		t.Fatalf("PLE %.2fs not better than vanilla %.2fs for fine spinning", ple, van)
+	}
+}
+
+func TestRelaxedCoHelpsCoarseSpinning(t *testing.T) {
+	van := measure(t, "BT", workload.SyncSpinning, core.StrategyVanilla, 2, nil)
+	co := measure(t, "BT", workload.SyncSpinning, core.StrategyRelaxedCo, 2, nil)
+	if co >= van {
+		t.Fatalf("relaxed-co %.2fs not better than vanilla %.2fs for coarse spinning", co, van)
+	}
+}
+
+func TestRelaxedCoNotHelpfulForBlocking(t *testing.T) {
+	// §5.2: deceptive idleness blinds the skew monitor for blocking
+	// workloads, so relaxed-co gives no real benefit there.
+	van := measure(t, "streamcluster", 0, core.StrategyVanilla, 2, nil)
+	co := measure(t, "streamcluster", 0, core.StrategyRelaxedCo, 2, nil)
+	if co < van*0.92 {
+		t.Fatalf("relaxed-co %.2fs suspiciously better than vanilla %.2fs for blocking", co, van)
+	}
+}
+
+func TestIRSGainDiminishesWithInterference(t *testing.T) {
+	// §5.2 second observation: improvement shrinks as more vCPUs are
+	// interfered because fewer interference-free vCPUs remain.
+	van1 := measure(t, "facesim", 0, core.StrategyVanilla, 1, nil)
+	irs1 := measure(t, "facesim", 0, core.StrategyIRS, 1, nil)
+	van4 := measure(t, "facesim", 0, core.StrategyVanilla, 4, nil)
+	irs4 := measure(t, "facesim", 0, core.StrategyIRS, 4, nil)
+	imp1 := (van1 - irs1) / van1
+	imp4 := (van4 - irs4) / van4
+	if imp1 <= imp4 {
+		t.Fatalf("improvement did not diminish: 1-inter %.1f%% vs 4-inter %.1f%%", imp1*100, imp4*100)
+	}
+	if imp1 < 0.15 {
+		t.Fatalf("1-inter improvement %.1f%% too small", imp1*100)
+	}
+}
+
+func TestPipelineWorkloadsSeeMarginalIRSGain(t *testing.T) {
+	// dedup/ferret: multiple ready threads per vCPU mean the stock
+	// balancer already copes (§5.2).
+	van := measure(t, "dedup", 0, core.StrategyVanilla, 1, nil)
+	irs := measure(t, "dedup", 0, core.StrategyIRS, 1, nil)
+	imp := (van - irs) / van
+	if imp > 0.35 {
+		t.Fatalf("dedup IRS improvement %.1f%% implausibly large", imp*100)
+	}
+	if imp < -0.15 {
+		t.Fatalf("dedup IRS regression %.1f%%", imp*100)
+	}
+}
+
+func TestIRSPullAddsOnTopOfPush(t *testing.T) {
+	enablePull := func(name string, c *guest.Config) {
+		if name == "fg" {
+			c.IRSPull = true
+		}
+	}
+	push := measure(t, "streamcluster", 0, core.StrategyIRS, 4, nil)
+	pull := measure(t, "streamcluster", 0, core.StrategyIRS, 4, enablePull)
+	// Pull-based migration must never hurt; at full interference it
+	// catches the cases push cannot (no running target at SA time).
+	if pull > push*1.05 {
+		t.Fatalf("IRS+pull %.2fs worse than push-only %.2fs", pull, push)
+	}
+}
+
+func TestAllStrategiesIdenticalWithoutInterference(t *testing.T) {
+	base := measure(t, "EP", workload.SyncBlocking, core.StrategyVanilla, 0, nil)
+	for _, strat := range []core.Strategy{core.StrategyPLE, core.StrategyRelaxedCo, core.StrategyIRS} {
+		rt := measure(t, "EP", workload.SyncBlocking, strat, 0, nil)
+		diff := (rt - base) / base
+		if diff > 0.02 || diff < -0.02 {
+			t.Fatalf("%v alone differs from vanilla by %.1f%%", strat, diff*100)
+		}
+	}
+}

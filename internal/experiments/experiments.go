@@ -1,0 +1,317 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5). Each FigNN function runs the corresponding
+// scenario matrix on the simulator and returns a Table with the same
+// rows/series the paper plots. EXPERIMENTS.md records paper-vs-measured
+// values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	// Runs per data point (the paper averages 5; default 3).
+	Runs int
+	Seed uint64
+	// Verbose emits progress lines via Logf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// interKind selects the interfering workload type (§5.1).
+type interKind int
+
+const (
+	interHogs  interKind = iota + 1 // synthetic CPU hogs
+	interBench                      // a real parallel application
+)
+
+// interference describes the background load.
+type interference struct {
+	kind  interKind
+	bench workload.Benchmark // for interBench
+	mode  workload.SyncMode
+	level int // number of interfered foreground vCPUs
+	vms   int // number of stacked interfering VMs (Fig. 11); default 1
+}
+
+func hogs(level int) interference { return interference{kind: interHogs, level: level, vms: 1} }
+
+func benchInter(b workload.Benchmark, mode workload.SyncMode, level int) interference {
+	return interference{kind: interBench, bench: b, mode: mode, level: level, vms: 1}
+}
+
+// setup is one simulator configuration point.
+type setup struct {
+	pcpus    int
+	fgVCPUs  int
+	bench    workload.Benchmark
+	mode     workload.SyncMode
+	strat    core.Strategy
+	inter    interference
+	unpinned bool
+	horizon  sim.Time
+}
+
+// scenario materialises the setup for one seed.
+func (s setup) scenario(seed uint64) core.Scenario {
+	var fgPins, bgPins []int
+	if !s.unpinned {
+		fgPins = core.SeqPins(0, s.fgVCPUs)
+		bgPins = core.SeqPins(0, s.inter.level)
+	}
+	fg := core.BenchmarkVM("fg", s.bench, s.mode, s.fgVCPUs, fgPins)
+	fg.IRS = s.strat == core.StrategyIRS
+	vms := []core.VMSpec{fg}
+	for v := 0; v < s.inter.vms; v++ {
+		name := fmt.Sprintf("bg%d", v)
+		if s.inter.level <= 0 {
+			break
+		}
+		switch s.inter.kind {
+		case interHogs:
+			vms = append(vms, core.HogVM(name, s.inter.level, bgPins))
+		case interBench:
+			vms = append(vms, core.BackgroundVM(name, s.inter.bench, s.inter.mode, s.inter.level, bgPins))
+		}
+	}
+	horizon := s.horizon
+	if horizon == 0 {
+		horizon = 900 * sim.Second
+	}
+	return core.Scenario{
+		PCPUs:    s.pcpus,
+		Strategy: s.strat,
+		Seed:     seed,
+		Unpinned: s.unpinned,
+		Horizon:  horizon,
+		VMs:      vms,
+	}
+}
+
+// point is the measured outcome of a setup, averaged over runs.
+type point struct {
+	fgRuntime float64 // seconds, mean
+	bgRuntime float64 // seconds, mean per-completion of bg0 (0 if hogs)
+	err       error
+}
+
+// harness caches measurements so vanilla baselines are shared.
+type harness struct {
+	opt   Options
+	cache map[string]point
+}
+
+func newHarness(opt Options) *harness {
+	return &harness{opt: opt.withDefaults(), cache: make(map[string]point)}
+}
+
+func (h *harness) key(s setup) string {
+	return fmt.Sprintf("%d|%d|%s|%d|%s|%d|%d|%d|%d|%v",
+		s.pcpus, s.fgVCPUs, s.bench.Name, s.mode, s.strat,
+		s.inter.kind, interName(s.inter), s.inter.level, s.inter.vms, s.unpinned)
+}
+
+func interName(i interference) int {
+	if i.kind == interBench {
+		return int(i.bench.Name[0])<<8 | int(i.bench.Name[len(i.bench.Name)-1])
+	}
+	return 0
+}
+
+// measure runs the setup opt.Runs times and averages.
+func (h *harness) measure(s setup) point {
+	k := h.key(s)
+	if p, ok := h.cache[k]; ok {
+		return p
+	}
+	var fg, bg []float64
+	var firstErr error
+	for i := 0; i < h.opt.Runs; i++ {
+		seed := h.opt.Seed + uint64(i)*7919
+		res, err := core.Run(s.scenario(seed))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", k, err)
+			}
+			continue
+		}
+		fg = append(fg, res.VM("fg").Runtime.Seconds())
+		if bgr := res.VM("bg0"); bgr != nil && s.inter.kind == interBench {
+			if m := bgr.MeanRuntime; m > 0 {
+				bg = append(bg, m.Seconds())
+			}
+		}
+	}
+	p := point{err: firstErr}
+	if len(fg) > 0 {
+		p.fgRuntime = metrics.Summarize(fg).Mean
+		p.err = nil
+	}
+	if len(bg) > 0 {
+		p.bgRuntime = metrics.Summarize(bg).Mean
+	}
+	h.cache[k] = p
+	h.opt.Logf("measured %s: fg=%.3fs bg=%.3fs err=%v", k, p.fgRuntime, p.bgRuntime, p.err)
+	return p
+}
+
+// improvement returns the % runtime improvement of strat over vanilla
+// for the given setup (positive = faster than vanilla).
+func (h *harness) improvement(s setup, strat core.Strategy) float64 {
+	base := s
+	base.strat = core.StrategyVanilla
+	vb := h.measure(base)
+	s.strat = strat
+	vm := h.measure(s)
+	if vb.err != nil || vm.err != nil || vb.fgRuntime == 0 || vm.fgRuntime == 0 {
+		return 0
+	}
+	return metrics.Improvement(vb.fgRuntime, vm.fgRuntime)
+}
+
+// weightedSpeedup returns the paper's §5.4 metric for a setup with a
+// real background application.
+func (h *harness) weightedSpeedup(s setup, strat core.Strategy) float64 {
+	base := s
+	base.strat = core.StrategyVanilla
+	vb := h.measure(base)
+	s.strat = strat
+	vm := h.measure(s)
+	if vb.err != nil || vm.err != nil || vm.fgRuntime == 0 || vb.fgRuntime == 0 {
+		return 0
+	}
+	fgSp := metrics.Speedup(vb.fgRuntime, vm.fgRuntime)
+	bgSp := 1.0
+	if vb.bgRuntime > 0 && vm.bgRuntime > 0 {
+		bgSp = metrics.Speedup(vb.bgRuntime, vm.bgRuntime)
+	}
+	return metrics.WeightedSpeedup(fgSp, bgSp)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// All runs every experiment and returns the tables in paper order.
+func All(opt Options) []Table {
+	return []Table{
+		Fig1a(opt), Fig1b(opt), Fig2(opt),
+		Fig5(opt), Fig6(opt), Fig7(opt), Fig8(opt), Fig9(opt),
+		Fig10(opt), Fig11(opt), Fig12(opt), Fig13(opt),
+		SADelay(opt),
+	}
+}
+
+// ByID runs a single experiment by its table ID.
+func ByID(id string, opt Options) (Table, bool) {
+	switch strings.ToLower(id) {
+	case "fig1a":
+		return Fig1a(opt), true
+	case "fig1b":
+		return Fig1b(opt), true
+	case "fig2":
+		return Fig2(opt), true
+	case "fig5":
+		return Fig5(opt), true
+	case "fig6":
+		return Fig6(opt), true
+	case "fig7":
+		return Fig7(opt), true
+	case "fig8":
+		return Fig8(opt), true
+	case "fig9":
+		return Fig9(opt), true
+	case "fig10":
+		return Fig10(opt), true
+	case "fig11":
+		return Fig11(opt), true
+	case "fig12":
+		return Fig12(opt), true
+	case "fig13":
+		return Fig13(opt), true
+	case "sa", "tab-sa", "sadelay":
+		return SADelay(opt), true
+	case "ab-pull":
+		return AblationIRSPull(opt), true
+	case "ab-salimit":
+		return AblationSALimit(opt), true
+	case "ab-ticket":
+		return AblationTicketLock(opt), true
+	case "ab-spinblock":
+		return AblationSpinBlock(opt), true
+	case "ab-strictco":
+		return AblationStrictCo(opt), true
+	case "claims":
+		return EvaluateClaims(opt), true
+	default:
+		return Table{}, false
+	}
+}
+
+// IDs lists all experiment identifiers (paper figures first, then the
+// ablations this reproduction adds).
+func IDs() []string {
+	return []string{"fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sadelay",
+		"ab-pull", "ab-salimit", "ab-ticket", "ab-spinblock", "ab-strictco",
+		"claims"}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig2 reproduces Figure 2: CPU utilization of the parallel VM relative
+// to its fair share under one interfering CPU hog, with all benchmarks
+// using blocking synchronization (NPB compiled with
+// OMP_WAIT_POLICY=passive). Blocking workloads idle their vCPUs on
+// LHP/LWP and fall short of the fair share; raytrace's user-level load
+// balancing keeps utilization near 1.
+func Fig2(opt Options) Table {
+	opt = opt.withDefaults()
+	rows := [][]string{}
+
+	parsecNames := []string{"streamcluster", "canneal", "fluidanimate", "bodytrack", "x264", "facesim", "blackscholes"}
+	npbNames := []string{"BT", "CG", "MG", "FT", "SP", "UA"}
+
+	add := func(name string, mode workload.SyncMode) {
+		bench, ok := workload.ByName(name)
+		if !ok {
+			return
+		}
+		var utils []float64
+		for i := 0; i < opt.Runs; i++ {
+			scn := fig2Scenario(bench, mode, opt.Seed+uint64(i)*7919)
+			res, err := core.Run(scn)
+			if err != nil {
+				continue
+			}
+			elapsed := res.Elapsed
+			// Fair share: pCPU 0 is shared with the hog (1/2 each);
+			// pCPUs 1-3 belong to the parallel VM alone.
+			fair := elapsed/2 + 3*elapsed
+			utils = append(utils, core.Utilization(res, "fg", fair))
+		}
+		if len(utils) == 0 {
+			return
+		}
+		rows = append(rows, []string{name, f2(metrics.Summarize(utils).Mean)})
+	}
+
+	for _, n := range parsecNames {
+		add(n, 0) // native blocking
+	}
+	for _, n := range npbNames {
+		add(n, workload.SyncBlocking) // OMP passive
+	}
+	add("raytrace", 0)
+
+	return Table{
+		ID:      "fig2",
+		Title:   "CPU utilization relative to fair share (blocking sync, 1 hog)",
+		Columns: []string{"benchmark", "utilization"},
+		Rows:    rows,
+	}
+}
+
+func fig2Scenario(bench workload.Benchmark, mode workload.SyncMode, seed uint64) core.Scenario {
+	fg := core.BenchmarkVM("fg", bench, mode, 4, core.SeqPins(0, 4))
+	return core.Scenario{
+		PCPUs:    4,
+		Strategy: core.StrategyVanilla,
+		Seed:     seed,
+		VMs: []core.VMSpec{
+			fg,
+			core.HogVM("bg", 1, core.SeqPins(0, 1)),
+		},
+	}
+}

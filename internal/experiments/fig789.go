@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Figures 7 and 9: system-wide weighted speedup when a foreground
+// benchmark is consolidated with a real background application
+// (fluidanimate/streamcluster for PARSEC, LU/UA for NPB). Figure 8:
+// server throughput and latency improvement under CPU hogs.
+
+// weightedPanel builds one weighted-speedup panel.
+func weightedPanel(h *harness, id, title string, suite []workload.Benchmark, mode workload.SyncMode, bg workload.Benchmark, bgMode workload.SyncMode) Table {
+	cols := []string{"benchmark"}
+	for _, lvl := range improvementLevels {
+		for _, st := range improvementStrategies {
+			cols = append(cols, fmt.Sprintf("%d-inter %s", lvl, st))
+		}
+	}
+	var rows [][]string
+	for _, bench := range suite {
+		row := []string{bench.Name}
+		for _, lvl := range improvementLevels {
+			for _, st := range improvementStrategies {
+				s := setup{pcpus: 4, fgVCPUs: 4, bench: bench, mode: mode,
+					inter: benchInter(bg, bgMode, lvl)}
+				row = append(row, f2(h.weightedSpeedup(s, st)))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table{ID: id, Title: title, Columns: cols, Rows: rows}
+}
+
+// Fig7 reproduces Figure 7: weighted speedup of two consolidated
+// PARSEC applications (higher is better, 1.0 = vanilla).
+func Fig7(opt Options) Table {
+	h := newHarness(opt)
+	fluid, _ := workload.ByName("fluidanimate")
+	stream, _ := workload.ByName("streamcluster")
+	panels := []Table{
+		weightedPanel(h, "fig7a", "Weighted speedup w/ fluidanimate", workload.PARSEC(), 0, fluid, 0),
+		weightedPanel(h, "fig7b", "Weighted speedup w/ streamcluster", workload.PARSEC(), 0, stream, 0),
+	}
+	return mergePanels("fig7", "Weighted speedup of two PARSEC applications (blocking)", panels)
+}
+
+// Fig9 reproduces Figure 9: weighted speedup for NPB applications.
+func Fig9(opt Options) Table {
+	h := newHarness(opt)
+	lu, _ := workload.ByName("LU")
+	ua, _ := workload.ByName("UA")
+	panels := []Table{
+		weightedPanel(h, "fig9a", "Weighted speedup w/ LU", workload.NPB(), workload.SyncSpinning, lu, workload.SyncSpinning),
+		weightedPanel(h, "fig9b", "Weighted speedup w/ UA", workload.NPB(), workload.SyncSpinning, ua, workload.SyncSpinning),
+	}
+	return mergePanels("fig9", "Weighted speedup of NPB applications (spinning)", panels)
+}
+
+// serverSpecs returns the two server benchmarks of §5.3: a SPECjbb-like
+// warehouse server (one thread per vCPU) and an ab-like webserver with
+// many short-request threads.
+func serverSpecs() (jbb, ab workload.ServerSpec) {
+	jbb = workload.ServerSpec{
+		Name:      "specjbb",
+		Threads:   4,
+		Service:   3 * sim.Millisecond,
+		LockEvery: 25,
+		LockCS:    100 * sim.Microsecond,
+		Duration:  8 * sim.Second,
+	}
+	ab = workload.ServerSpec{
+		Name:     "ab",
+		Threads:  64, // 512 in the paper; scaled with the smaller service times
+		Service:  1500 * sim.Microsecond,
+		Duration: 8 * sim.Second,
+	}
+	return jbb, ab
+}
+
+// Fig8 reproduces Figure 8: throughput and latency improvement of
+// SPECjbb (mean new-order latency) and ab (99th percentile) under IRS
+// with 1-4 CPU hogs.
+func Fig8(opt Options) Table {
+	opt = opt.withDefaults()
+	jbbSpec, abSpec := serverSpecs()
+	var rows [][]string
+	for _, c := range []struct {
+		spec workload.ServerSpec
+		pctl float64 // 0 = mean
+		tag  string
+	}{
+		{jbbSpec, 0, "specjbb"},
+		{abSpec, 99, "ab (99th)"},
+	} {
+		for inter := 1; inter <= 4; inter++ {
+			vanT, vanL := serverPoint(opt, c.spec, core.StrategyVanilla, inter, c.pctl)
+			irsT, irsL := serverPoint(opt, c.spec, core.StrategyIRS, inter, c.pctl)
+			rows = append(rows, []string{
+				c.tag, fmt.Sprintf("%d-inter", inter),
+				pct(metrics.ThroughputImprovement(vanT, irsT)),
+				pct(metrics.Improvement(vanL, irsL)),
+			})
+		}
+	}
+	return Table{
+		ID:      "fig8",
+		Title:   "Server throughput and latency improvement under IRS",
+		Columns: []string{"server", "interference", "throughput", "latency"},
+		Rows:    rows,
+	}
+}
+
+// serverPoint measures a server benchmark: returns (throughput req/s,
+// latency seconds — mean or percentile).
+func serverPoint(opt Options, spec workload.ServerSpec, strat core.Strategy, inter int, pctl float64) (float64, float64) {
+	var thr, lat []float64
+	for i := 0; i < opt.Runs; i++ {
+		vmSpec, statsPtr := core.ServerVM("fg", spec, 4, core.SeqPins(0, 4))
+		vmSpec.IRS = strat == core.StrategyIRS
+		scn := core.Scenario{
+			PCPUs:    4,
+			Strategy: strat,
+			Seed:     opt.Seed + uint64(i)*7919,
+			VMs: []core.VMSpec{
+				vmSpec,
+				core.HogVM("bg", inter, core.SeqPins(0, inter)),
+			},
+		}
+		res, err := core.Run(scn)
+		if err != nil || *statsPtr == nil {
+			continue
+		}
+		st := *statsPtr
+		_ = res
+		thr = append(thr, st.Throughput())
+		if pctl > 0 {
+			lat = append(lat, st.Latency.Percentile(pctl).Seconds())
+		} else {
+			lat = append(lat, st.Latency.Mean().Seconds())
+		}
+	}
+	return metrics.Summarize(thr).Mean, metrics.Summarize(lat).Mean
+}

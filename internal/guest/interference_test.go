@@ -1,0 +1,187 @@
+package guest_test
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+)
+
+// hogProg computes forever.
+type hogProg struct{}
+
+func (hogProg) Step(t *guest.Task) guest.Action { return guest.Run(10 * sim.Millisecond) }
+
+// rig2 builds a foreground VM and an interfering hog VM sharing pCPU 0.
+func rig2(t *testing.T, strategy hypervisor.Strategy, fgIRS bool) (*sim.Engine, *hypervisor.Hypervisor, *guest.Kernel, *guest.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	hc := hypervisor.DefaultConfig(2)
+	hc.Strategy = strategy
+	hv := hypervisor.New(eng, hc)
+
+	fgVM := hv.NewVM("fg", 2, 256, fgIRS)
+	bgVM := hv.NewVM("bg", 1, 256, false)
+	for i, v := range fgVM.VCPUs {
+		v.Pin(hv.PCPU(i))
+	}
+	bgVM.VCPUs[0].Pin(hv.PCPU(0))
+
+	gc := guest.DefaultConfig()
+	gc.IRS = fgIRS
+	fg := guest.NewKernel(hv, fgVM, gc)
+	bg := guest.NewKernel(hv, bgVM, guest.DefaultConfig())
+	bg.Spawn("hog", hogProg{}, 0)
+	return eng, hv, fg, bg
+}
+
+func TestFairSharingUnderContention(t *testing.T) {
+	eng, _, fg, bg := rig2(t, hypervisor.StrategyVanilla, false)
+	// Foreground task on contended CPU 0 runs alongside the hog.
+	fg.Spawn("w0", hogProg{}, 0)
+	fg.Start()
+	bg.Start()
+	if err := eng.Run(3 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fgRun := fg.VM().VCPUs[0].RunTime()
+	bgRun := bg.VM().VCPUs[0].RunTime()
+	ratio := float64(fgRun) / float64(bgRun)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("unfair sharing: fg=%v bg=%v ratio=%.2f", fgRun, bgRun, ratio)
+	}
+	total := fgRun + bgRun
+	if total < sim.Time(float64(3*sim.Second)*0.95) {
+		t.Fatalf("pCPU 0 underutilized: %v of 3s", total)
+	}
+}
+
+func TestStealTimeAccountedUnderContention(t *testing.T) {
+	eng, _, fg, bg := rig2(t, hypervisor.StrategyVanilla, false)
+	fg.Spawn("w0", hogProg{}, 0)
+	fg.Start()
+	bg.Start()
+	if err := eng.Run(3 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	steal := fg.VM().VCPUs[0].StealTime()
+	// With two equal-weight competitors, about half the time is stolen.
+	if steal < sim.Second || steal > 2*sim.Second {
+		t.Fatalf("steal time %v, want ~1.5s", steal)
+	}
+	if fg.VM().VCPUs[1].StealTime() > 100*sim.Millisecond {
+		t.Fatalf("uncontended vCPU has steal time %v", fg.VM().VCPUs[1].StealTime())
+	}
+}
+
+func TestSARoundTripUnderIRS(t *testing.T) {
+	eng, hv, fg, bg := rig2(t, hypervisor.StrategyIRS, true)
+	fg.Spawn("w0", hogProg{}, 0)
+	fg.Start()
+	bg.Start()
+	if err := eng.Run(3 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sent, acked, expired, mean, max := hv.SAStats()
+	if sent == 0 {
+		t.Fatal("no SA notifications sent despite contention")
+	}
+	if acked == 0 {
+		t.Fatal("no SA notifications acknowledged")
+	}
+	if expired > sent/10 {
+		t.Fatalf("too many SA expirations: %d of %d", expired, sent)
+	}
+	// The paper reports 20-26µs of SA processing delay (§3.1).
+	if mean < 10*sim.Microsecond || mean > 40*sim.Microsecond {
+		t.Fatalf("mean SA delay %v, want 10-40µs", mean)
+	}
+	if max > hv.Config().SALimit {
+		t.Fatalf("max SA delay %v exceeds hard limit %v", max, hv.Config().SALimit)
+	}
+}
+
+func TestIRSMigratesTaskOffPreemptedVCPU(t *testing.T) {
+	eng, _, fg, bg := rig2(t, hypervisor.StrategyIRS, true)
+	// One busy task on the contended CPU 0; CPU 1 idle. IRS should keep
+	// shoving the task to CPU 1 whenever vCPU 0 is preempted.
+	fg.Spawn("w0", hogProg{}, 0)
+	fg.Start()
+	bg.Start()
+	if err := eng.Run(3 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fg.IRSMigrations == 0 {
+		t.Fatal("IRS migrator never moved the task")
+	}
+	// The task should have accumulated nearly full speed: with an idle
+	// sibling vCPU available it should not be throttled to 50%.
+	task := fg.Tasks()[0]
+	if task.CPUTime < sim.Time(float64(3*sim.Second)*0.8) {
+		t.Fatalf("task CPU time %v, want >80%% of 3s (IRS should exploit idle vCPU 1)", task.CPUTime)
+	}
+}
+
+func TestVanillaTaskStuckOnPreemptedVCPU(t *testing.T) {
+	eng, _, fg, bg := rig2(t, hypervisor.StrategyVanilla, false)
+	fg.Spawn("w0", hogProg{}, 0)
+	fg.Start()
+	bg.Start()
+	if err := eng.Run(3 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Without IRS the guest never migrates the "running" task: it stays
+	// on the contended vCPU at ~50% speed.
+	task := fg.Tasks()[0]
+	if task.CPUTime > sim.Time(float64(3*sim.Second)*0.65) {
+		t.Fatalf("task CPU time %v; expected ~50%% without IRS", task.CPUTime)
+	}
+	if fg.IRSMigrations != 0 {
+		t.Fatalf("vanilla guest performed %d IRS migrations", fg.IRSMigrations)
+	}
+}
+
+func TestLHPCountedForLockHolders(t *testing.T) {
+	eng, _, fg, bg := rig2(t, hypervisor.StrategyVanilla, false)
+	// A task that holds a lock almost always, on the contended CPU.
+	fg.Spawn("holder", &alwaysLockedProg{}, 0)
+	fg.Start()
+	bg.Start()
+	if err := eng.Run(2 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fg.VM().LHPCount == 0 {
+		t.Fatal("no LHP events recorded for a persistent lock holder under contention")
+	}
+}
+
+// alwaysLockedProg marks itself as holding a lock during all compute.
+type alwaysLockedProg struct{ started bool }
+
+func (p *alwaysLockedProg) Step(t *guest.Task) guest.Action {
+	if !p.started {
+		p.started = true
+		t.LocksHeld++
+	}
+	return guest.Run(5 * sim.Millisecond)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, int64) {
+		eng, _, fg, bg := rig2(t, hypervisor.StrategyIRS, true)
+		fg.Spawn("w0", hogProg{}, 0)
+		fg.Spawn("w1", hogProg{}, 1)
+		fg.Start()
+		bg.Start()
+		if err := eng.Run(2 * sim.Second); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return fg.Tasks()[0].CPUTime, fg.IRSMigrations
+	}
+	c1, m1 := run()
+	c2, m2 := run()
+	if c1 != c2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", c1, m1, c2, m2)
+	}
+}

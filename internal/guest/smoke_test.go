@@ -1,0 +1,242 @@
+package guest_test
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/guestsync"
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+)
+
+// testRig wires an engine, hypervisor and one guest kernel together.
+type testRig struct {
+	eng  *sim.Engine
+	hv   *hypervisor.Hypervisor
+	vm   *hypervisor.VM
+	kern *guest.Kernel
+}
+
+func newRig(t *testing.T, pcpus, vcpus int, hcfg func(*hypervisor.Config), gcfg func(*guest.Config)) *testRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	hc := hypervisor.DefaultConfig(pcpus)
+	if hcfg != nil {
+		hcfg(&hc)
+	}
+	hv := hypervisor.New(eng, hc)
+	vm := hv.NewVM("vm0", vcpus, 256, true)
+	gc := guest.DefaultConfig()
+	if gcfg != nil {
+		gcfg(&gc)
+	}
+	kern := guest.NewKernel(hv, vm, gc)
+	return &testRig{eng: eng, hv: hv, vm: vm, kern: kern}
+}
+
+// computeProg runs a fixed amount of work and exits.
+type computeProg struct {
+	chunk sim.Time
+	n     int
+	done  int
+}
+
+func (p *computeProg) Step(t *guest.Task) guest.Action {
+	if p.done >= p.n {
+		return guest.Exit()
+	}
+	p.done++
+	return guest.Run(p.chunk)
+}
+
+func TestSingleTaskRunsToCompletion(t *testing.T) {
+	r := newRig(t, 1, 1, nil, nil)
+	prog := &computeProg{chunk: 10 * sim.Millisecond, n: 10}
+	task := r.kern.Spawn("worker", prog, 0)
+	finished := sim.Time(-1)
+	r.kern.OnAllExited = func() { finished = r.eng.Now() }
+	r.kern.Start()
+	if err := r.eng.Run(5 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if task.State() != guest.TaskDone {
+		t.Fatalf("task state = %v, want done", task.State())
+	}
+	if finished < 100*sim.Millisecond {
+		t.Fatalf("finished at %v, want >= 100ms of work", finished)
+	}
+	// Allow modest overhead beyond the pure compute time.
+	if finished > 120*sim.Millisecond {
+		t.Fatalf("finished at %v, too much overhead", finished)
+	}
+	if got := task.CPUTime; got < 100*sim.Millisecond {
+		t.Fatalf("CPU time %v, want >= 100ms", got)
+	}
+}
+
+func TestTwoTasksShareOneCPU(t *testing.T) {
+	r := newRig(t, 1, 1, nil, nil)
+	p1 := &computeProg{chunk: 50 * sim.Millisecond, n: 2}
+	p2 := &computeProg{chunk: 50 * sim.Millisecond, n: 2}
+	t1 := r.kern.Spawn("a", p1, 0)
+	t2 := r.kern.Spawn("b", p2, 0)
+	var finished sim.Time
+	r.kern.OnAllExited = func() { finished = r.eng.Now(); r.eng.Stop() }
+	r.kern.Start()
+	if err := r.eng.Run(5 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if finished < 200*sim.Millisecond || finished > 230*sim.Millisecond {
+		t.Fatalf("finished at %v, want ~200ms", finished)
+	}
+	// CFS should have interleaved them: both CPU times ~100ms.
+	for _, task := range []*guest.Task{t1, t2} {
+		if task.CPUTime < 99*sim.Millisecond || task.CPUTime > 110*sim.Millisecond {
+			t.Fatalf("%s CPU time %v, want ~100ms", task.Name, task.CPUTime)
+		}
+	}
+}
+
+func TestTasksSpreadAcrossCPUs(t *testing.T) {
+	r := newRig(t, 2, 2, nil, nil)
+	var finished sim.Time
+	r.kern.OnAllExited = func() { finished = r.eng.Now(); r.eng.Stop() }
+	r.kern.Spawn("a", &computeProg{chunk: 100 * sim.Millisecond, n: 1}, 0)
+	r.kern.Spawn("b", &computeProg{chunk: 100 * sim.Millisecond, n: 1}, 1)
+	r.kern.Start()
+	if err := r.eng.Run(5 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if finished > 110*sim.Millisecond {
+		t.Fatalf("finished at %v, want ~100ms (parallel)", finished)
+	}
+}
+
+// mutexProg increments a shared counter inside a mutex n times.
+type mutexProg struct {
+	mu      *guestsync.Mutex
+	n       int
+	i       int
+	hold    sim.Time
+	outside sim.Time
+	counter *int
+}
+
+func (p *mutexProg) Step(t *guest.Task) guest.Action {
+	if p.i >= p.n {
+		return guest.Exit()
+	}
+	p.i++
+	return guest.RunThen(p.outside, func(t *guest.Task, resume func()) {
+		p.mu.Lock(t, func() {
+			// Critical section: hold the lock while computing.
+			*p.counter++
+			t.Kernel().RunInTask(t, p.hold, func() {
+				p.mu.Unlock(t)
+				resume()
+			})
+		})
+	})
+}
+
+func TestMutexMutualExclusionAndProgress(t *testing.T) {
+	r := newRig(t, 2, 2, nil, nil)
+	mu := guestsync.NewMutex(r.kern)
+	counter := 0
+	const n = 50
+	mk := func() *mutexProg {
+		return &mutexProg{mu: mu, n: n, hold: sim.Millisecond, outside: 2 * sim.Millisecond, counter: &counter}
+	}
+	r.kern.Spawn("a", mk(), 0)
+	r.kern.Spawn("b", mk(), 1)
+	var done bool
+	r.kern.OnAllExited = func() { done = true; r.eng.Stop() }
+	r.kern.Start()
+	if err := r.eng.Run(10 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !done {
+		t.Fatal("workload did not finish")
+	}
+	if counter != 2*n {
+		t.Fatalf("counter = %d, want %d", counter, 2*n)
+	}
+}
+
+func TestBlockingBarrierRounds(t *testing.T) {
+	r := newRig(t, 4, 4, nil, nil)
+	bar := guestsync.NewBarrier(r.kern, 4)
+	const rounds = 20
+	for i := 0; i < 4; i++ {
+		p := &barrierProg{bar: bar, rounds: rounds, work: 2 * sim.Millisecond}
+		r.kern.Spawn("w", p, i)
+	}
+	var done bool
+	r.kern.OnAllExited = func() { done = true; r.eng.Stop() }
+	r.kern.Start()
+	if err := r.eng.Run(10 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !done {
+		t.Fatal("barrier workload did not finish")
+	}
+	if bar.Generations != rounds {
+		t.Fatalf("generations = %d, want %d", bar.Generations, rounds)
+	}
+}
+
+type barrierProg struct {
+	bar    *guestsync.Barrier
+	rounds int
+	i      int
+	work   sim.Time
+}
+
+func (p *barrierProg) Step(t *guest.Task) guest.Action {
+	if p.i >= p.rounds {
+		return guest.Exit()
+	}
+	p.i++
+	return guest.RunThen(p.work, func(t *guest.Task, resume func()) {
+		p.bar.Wait(t, resume)
+	})
+}
+
+func TestSpinBarrierRounds(t *testing.T) {
+	r := newRig(t, 4, 4, nil, nil)
+	bar := guestsync.NewSpinBarrier(r.kern, 4)
+	const rounds = 20
+	for i := 0; i < 4; i++ {
+		p := &spinBarrierProg{bar: bar, rounds: rounds, work: 2 * sim.Millisecond}
+		r.kern.Spawn("w", p, i)
+	}
+	var done bool
+	r.kern.OnAllExited = func() { done = true; r.eng.Stop() }
+	r.kern.Start()
+	if err := r.eng.Run(10 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !done {
+		t.Fatal("spin barrier workload did not finish")
+	}
+	if bar.Generations != rounds {
+		t.Fatalf("generations = %d, want %d", bar.Generations, rounds)
+	}
+}
+
+type spinBarrierProg struct {
+	bar    *guestsync.SpinBarrier
+	rounds int
+	i      int
+	work   sim.Time
+}
+
+func (p *spinBarrierProg) Step(t *guest.Task) guest.Action {
+	if p.i >= p.rounds {
+		return guest.Exit()
+	}
+	p.i++
+	return guest.RunThen(p.work, func(t *guest.Task, resume func()) {
+		p.bar.Wait(t, resume)
+	})
+}

@@ -1,0 +1,114 @@
+package guestsync
+
+import "repro/internal/guest"
+
+// Barrier is a pthread-style blocking barrier for n tasks: arrivals
+// spin briefly (futex pre-sleep spinning), then sleep until the last
+// task arrives and wakes everyone. Blocked waiters idle their vCPUs —
+// the deceptive-idleness behaviour behind Figure 2 and the CPU-stacking
+// results (§5.6).
+type Barrier struct {
+	kern     *guest.Kernel
+	n        int
+	arrivals int
+	sleepers []mutexWaiter
+	spinners []*guest.Task
+
+	// Generations counts completed barrier episodes.
+	Generations int64
+}
+
+// NewBarrier creates a blocking barrier for n tasks.
+func NewBarrier(kern *guest.Kernel, n int) *Barrier {
+	if n <= 0 {
+		panic("guestsync: barrier size must be positive")
+	}
+	return &Barrier{kern: kern, n: n}
+}
+
+// N returns the party size.
+func (b *Barrier) N() int { return b.n }
+
+// Wait joins the barrier; cont runs once all n tasks have arrived. The
+// last arriver proceeds directly and releases the waiters.
+func (b *Barrier) Wait(t *guest.Task, cont func()) {
+	b.arrivals++
+	if b.arrivals == b.n {
+		b.arrivals = 0
+		b.Generations++
+		sleepers, spinners := b.sleepers, b.spinners
+		b.sleepers, b.spinners = nil, nil
+		for _, w := range sleepers {
+			b.kern.WakeTask(w.t, w.cont)
+		}
+		for _, s := range spinners {
+			b.kern.GrantSpin(s)
+		}
+		cont()
+		return
+	}
+	budget := b.kern.Config().SpinBeforeBlock
+	if budget <= 0 {
+		b.sleepers = append(b.sleepers, mutexWaiter{t: t, cont: cont})
+		b.kern.BlockTask(t)
+		return
+	}
+	b.spinners = append(b.spinners, t)
+	b.kern.SpinTaskBounded(t, budget, nil, cont, func() {
+		b.removeSpinner(t)
+		b.sleepers = append(b.sleepers, mutexWaiter{t: t, cont: cont})
+		b.kern.BlockTask(t)
+	})
+}
+
+func (b *Barrier) removeSpinner(t *guest.Task) {
+	for i, s := range b.spinners {
+		if s == t {
+			b.spinners = append(b.spinners[:i], b.spinners[i+1:]...)
+			return
+		}
+	}
+}
+
+// SpinBarrier is an OpenMP-style barrier with an active wait policy:
+// arrivals busy-wait (burning vCPU cycles, visible to PLE) until the
+// last task arrives and releases the generation.
+type SpinBarrier struct {
+	kern     *guest.Kernel
+	n        int
+	waiting  []*guest.Task
+	arrivals int
+
+	Generations int64
+}
+
+// NewSpinBarrier creates a spinning barrier for n tasks.
+func NewSpinBarrier(kern *guest.Kernel, n int) *SpinBarrier {
+	if n <= 0 {
+		panic("guestsync: barrier size must be positive")
+	}
+	return &SpinBarrier{kern: kern, n: n}
+}
+
+// N returns the party size.
+func (b *SpinBarrier) N() int { return b.n }
+
+// Wait joins the barrier; cont runs once all n tasks have arrived.
+// Non-last arrivals spin.
+func (b *SpinBarrier) Wait(t *guest.Task, cont func()) {
+	b.arrivals++
+	if b.arrivals < b.n {
+		b.waiting = append(b.waiting, t)
+		b.kern.SpinTask(t, nil, cont)
+		return
+	}
+	// Last arriver: release the generation.
+	b.arrivals = 0
+	b.Generations++
+	ws := b.waiting
+	b.waiting = nil
+	for _, w := range ws {
+		b.kern.GrantSpin(w)
+	}
+	cont()
+}

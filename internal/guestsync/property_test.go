@@ -1,0 +1,206 @@
+package guestsync_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/guest"
+	"repro/internal/guestsync"
+	"repro/internal/sim"
+)
+
+// randomLockProg performs a random sequence of critical sections with
+// random durations drawn from the seed, tracking invariants.
+type randomLockProg struct {
+	mu      *guestsync.Mutex
+	sl      *guestsync.SpinLock
+	rng     *sim.RNG
+	steps   int
+	inCS    *[2]int
+	maxCS   *[2]int
+	entries *int
+}
+
+func (p *randomLockProg) Step(t *guest.Task) guest.Action {
+	if p.steps <= 0 {
+		return guest.Exit()
+	}
+	p.steps--
+	outside := sim.Time(p.rng.Intn(2000)+1) * sim.Microsecond
+	inside := sim.Time(p.rng.Intn(500)+1) * sim.Microsecond
+	useSpin := p.sl != nil && p.rng.Intn(2) == 0
+	return guest.RunThen(outside, func(tk *guest.Task, resume func()) {
+		// Each lock guards its own critical-section counter; inCS and
+		// maxCS are two-element arrays indexed by lock.
+		idx := 0
+		if useSpin {
+			idx = 1
+		}
+		enter := func(unlock func(*guest.Task)) {
+			(*p.inCS)[idx]++
+			*p.entries++
+			if (*p.inCS)[idx] > (*p.maxCS)[idx] {
+				(*p.maxCS)[idx] = (*p.inCS)[idx]
+			}
+			tk.Kernel().RunInTask(tk, inside, func() {
+				(*p.inCS)[idx]--
+				unlock(tk)
+				resume()
+			})
+		}
+		if useSpin {
+			p.sl.Lock(tk, func() { enter(p.sl.Unlock) })
+		} else {
+			p.mu.Lock(tk, func() { enter(p.mu.Unlock) })
+		}
+	})
+}
+
+// TestQuickMutualExclusionUnderRandomSchedules drives random mixes of
+// blocking mutexes and spinlocks across random interference patterns
+// and checks mutual exclusion plus completion.
+func TestQuickMutualExclusionUnderRandomSchedules(t *testing.T) {
+	f := func(seed uint64, nTasksRaw, stepsRaw uint8) bool {
+		nTasks := int(nTasksRaw%4) + 2 // 2..5
+		steps := int(stepsRaw%30) + 5  // 5..34
+		eng, kern := rig(t, 2)
+		mu := guestsync.NewMutex(kern)
+		sl := guestsync.NewSpinLock(kern)
+		rng := sim.NewRNG(seed | 1)
+		var inCS, maxCS [2]int
+		entries := 0
+		for i := 0; i < nTasks; i++ {
+			p := &randomLockProg{
+				mu: mu, sl: sl, rng: rng.Fork(uint64(i)),
+				steps: steps, inCS: &inCS, maxCS: &maxCS, entries: &entries,
+			}
+			kern.Spawn("r", p, i%2)
+		}
+		done := false
+		kern.OnAllExited = func() { done = true; eng.Stop() }
+		kern.Start()
+		if err := eng.Run(120 * sim.Second); err != nil {
+			return false
+		}
+		return done && maxCS[0] <= 1 && maxCS[1] <= 1 && entries == nTasks*steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBarrierGenerations drives random barrier parties and rounds.
+func TestQuickBarrierGenerations(t *testing.T) {
+	f := func(seed uint64, partyRaw, roundsRaw uint8) bool {
+		party := int(partyRaw%4) + 2 // 2..5
+		rounds := int(roundsRaw%20) + 1
+		eng, kern := rig(t, party)
+		bar := guestsync.NewBarrier(kern, party)
+		rng := sim.NewRNG(seed | 1)
+		for i := 0; i < party; i++ {
+			r := rng.Fork(uint64(i))
+			ops := make([]func(*guest.Task, func()), rounds)
+			for j := range ops {
+				ops[j] = func(tk *guest.Task, resume func()) { bar.Wait(tk, resume) }
+			}
+			kern.Spawn("b", &scripted{ops: ops, gap: sim.Time(r.Intn(3000)+1) * sim.Microsecond}, i)
+		}
+		done := false
+		kern.OnAllExited = func() { done = true; eng.Stop() }
+		kern.Start()
+		if err := eng.Run(120 * sim.Second); err != nil {
+			return false
+		}
+		return done && int(bar.Generations) == rounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpinBarrierGenerations does the same with active waiting.
+func TestQuickSpinBarrierGenerations(t *testing.T) {
+	f := func(seed uint64, roundsRaw uint8) bool {
+		rounds := int(roundsRaw%15) + 1
+		const party = 3
+		eng, kern := rig(t, party)
+		bar := guestsync.NewSpinBarrier(kern, party)
+		rng := sim.NewRNG(seed | 1)
+		for i := 0; i < party; i++ {
+			r := rng.Fork(uint64(i))
+			ops := make([]func(*guest.Task, func()), rounds)
+			for j := range ops {
+				ops[j] = func(tk *guest.Task, resume func()) { bar.Wait(tk, resume) }
+			}
+			kern.Spawn("s", &scripted{ops: ops, gap: sim.Time(r.Intn(3000)+1) * sim.Microsecond}, i)
+		}
+		done := false
+		kern.OnAllExited = func() { done = true; eng.Stop() }
+		kern.Start()
+		if err := eng.Run(120 * sim.Second); err != nil {
+			return false
+		}
+		return done && int(bar.Generations) == rounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTicketLockFIFOOrder verifies grant order matches arrival
+// order for random arrival patterns.
+func TestQuickTicketLockFIFOOrder(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%4) + 2
+		eng, kern := rig(t, n)
+		l := guestsync.NewTicketLock(kern)
+		var order []int
+		// A holder keeps the lock long enough for all others to queue.
+		holder := &scripted{gap: sim.Millisecond, ops: []func(*guest.Task, func()){
+			func(tk *guest.Task, resume func()) {
+				l.Lock(tk, func() {
+					tk.Kernel().RunInTask(tk, 50*sim.Millisecond, func() {
+						l.Unlock(tk)
+						resume()
+					})
+				})
+			},
+		}}
+		kern.Spawn("h", holder, 0)
+		rng := sim.NewRNG(seed | 1)
+		delays := make([]sim.Time, n)
+		base := 2 * sim.Millisecond
+		for i := 1; i < n; i++ {
+			delays[i] = base + sim.Time(i)*sim.Millisecond + sim.Time(rng.Intn(300))*sim.Microsecond
+			i := i
+			w := &scripted{gap: delays[i], ops: []func(*guest.Task, func()){
+				func(tk *guest.Task, resume func()) {
+					l.Lock(tk, func() {
+						order = append(order, i)
+						l.Unlock(tk)
+						resume()
+					})
+				},
+			}}
+			kern.Spawn("w", w, i%n)
+		}
+		done := false
+		kern.OnAllExited = func() { done = true; eng.Stop() }
+		kern.Start()
+		if err := eng.Run(60 * sim.Second); err != nil {
+			return false
+		}
+		if !done || len(order) != n-1 {
+			return false
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i-1] > order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

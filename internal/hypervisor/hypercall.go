@@ -1,0 +1,85 @@
+package hypervisor
+
+import "repro/internal/sim"
+
+// This file is the hypercall surface exposed to guest kernels. All
+// calls are synchronous: the guest invokes them from vCPU context while
+// it is executing.
+
+// SchedOpBlock is HYPERVISOR_sched_op(SCHEDOP_block): the guest has no
+// runnable work and gives up the vCPU until an event arrives. When the
+// call doubles as an SA acknowledgement the pending flag is cleared.
+// It returns false (and does not block) if an interrupt is pending.
+func (h *Hypervisor) SchedOpBlock(v *VCPU) bool {
+	if v.state != StateRunning || v.pcpu == nil {
+		return false
+	}
+	if len(v.pendingIRQ) > 0 {
+		return false
+	}
+	if v.saPending {
+		h.completeSA(v, StateBlocked)
+		return true
+	}
+	p := v.pcpu
+	h.deschedule(p, StateBlocked, false)
+	h.dispatch(p)
+	return true
+}
+
+// SchedOpYield is HYPERVISOR_sched_op(SCHEDOP_yield): the vCPU remains
+// runnable but yields the pCPU, queueing behind peers of its priority
+// class. Doubles as an SA acknowledgement when one is pending.
+func (h *Hypervisor) SchedOpYield(v *VCPU) {
+	if v.state != StateRunning || v.pcpu == nil {
+		return
+	}
+	if v.saPending {
+		h.completeSA(v, StateRunnable)
+		return
+	}
+	p := v.pcpu
+	v.yieldHint = true
+	h.deschedule(p, StateRunnable, false)
+	h.dispatch(p)
+}
+
+// Runstate is what VCPUOP_get_runstate_info reports to the guest.
+type Runstate struct {
+	State RunState
+	Steal sim.Time
+}
+
+// GetRunstate is HYPERVISOR_vcpu_op(VCPUOP_get_runstate_info): it lets
+// the guest (the IRS migrator, steal-time accounting) observe the true
+// hypervisor state of any sibling vCPU.
+func (h *Hypervisor) GetRunstate(v *VCPU) Runstate {
+	return Runstate{State: v.state, Steal: v.StealTime()}
+}
+
+// SetTimer arms the per-vCPU one-shot timer (VCPUOP_set_singleshot_timer).
+// When it fires the vCPU receives IRQTimer; if it was blocked it wakes.
+func (h *Hypervisor) SetTimer(v *VCPU, at sim.Time) {
+	h.eng.Cancel(v.timer)
+	now := h.eng.Now()
+	if at < now {
+		at = now
+	}
+	v.timerAt = at
+	v.timer = h.eng.At(at, "xen-timer-"+v.Name(), func() {
+		v.timer = nil
+		h.SendIRQ(v, IRQTimer)
+	})
+}
+
+// StopTimer cancels the pending one-shot timer, if any.
+func (h *Hypervisor) StopTimer(v *VCPU) {
+	h.eng.Cancel(v.timer)
+	v.timer = nil
+}
+
+// Kick sends an event-channel notification to a sibling vCPU (the
+// reschedule-IPI analogue). Blocked vCPUs wake with BOOST priority.
+func (h *Hypervisor) Kick(v *VCPU) {
+	h.SendIRQ(v, IRQKick)
+}

@@ -1,0 +1,237 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Strategy selects the hypervisor-level scheduling policy under test.
+type Strategy int
+
+const (
+	// StrategyVanilla is the unmodified credit scheduler (baseline).
+	StrategyVanilla Strategy = iota + 1
+	// StrategyPLE adds pause-loop-exiting spin detection: a vCPU that
+	// spins beyond a window is forced to yield.
+	StrategyPLE
+	// StrategyRelaxedCo adds VMware-style relaxed co-scheduling: the
+	// leading vCPU of a skewed VM is stopped and swapped with its most
+	// lagging sibling at every accounting period.
+	StrategyRelaxedCo
+	// StrategyIRS adds the scheduler-activation sender: the guest is
+	// notified before involuntary preemption so it can rebalance.
+	StrategyIRS
+	// StrategyStrictCo is VMware ESX 2.x-style strict co-scheduling:
+	// all vCPUs of an SMP VM are scheduled and descheduled
+	// synchronously in rotating gang slots (§2.1).
+	StrategyStrictCo
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyVanilla:
+		return "vanilla"
+	case StrategyPLE:
+		return "ple"
+	case StrategyRelaxedCo:
+		return "relaxed-co"
+	case StrategyIRS:
+		return "irs"
+	case StrategyStrictCo:
+		return "strict-co"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config holds hypervisor tunables. DefaultConfig matches the paper's
+// Xen 4.5 credit-scheduler setup.
+type Config struct {
+	PCPUs    int
+	Strategy Strategy
+
+	// Timeslice is the scheduling quantum (Xen credit: 30 ms).
+	Timeslice sim.Time
+	// Tick is the credit-burn tick (Xen credit: 10 ms).
+	Tick sim.Time
+	// AccountPeriod is the credit refill / accounting period (30 ms).
+	AccountPeriod sim.Time
+	// Ratelimit is the minimum uninterrupted run before a wakeup may
+	// preempt (Xen sched_ratelimit_us = 1000).
+	Ratelimit sim.Time
+
+	// SALimit is the hard deadline for a guest to acknowledge a
+	// scheduler activation before the hypervisor preempts anyway.
+	SALimit sim.Time
+
+	// PLEWindow is how long continuous spinning runs before the
+	// pause-loop exit fires and the vCPU is forced to yield.
+	PLEWindow sim.Time
+
+	// CoSkewThreshold is the execution-skew bound for relaxed
+	// co-scheduling; beyond it the leader is stopped for CoParkTime.
+	CoSkewThreshold sim.Time
+	CoParkTime      sim.Time
+
+	// LoadBalance enables hypervisor-level vCPU balancing (wake
+	// placement, idle stealing, periodic re-pick) for unpinned vCPUs.
+	LoadBalance bool
+	// RepickEpsilon is the probability that the periodic balancer moves
+	// a vCPU between equally loaded pCPUs, modelling placement noise in
+	// real schedulers. Only meaningful with LoadBalance.
+	RepickEpsilon float64
+
+	// IRQCost is the hypervisor-side cost of injecting an interrupt.
+	IRQCost sim.Time
+
+	// Trace, when non-nil, records scheduling events.
+	Trace *trace.Log
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's Xen-like parameters for n pCPUs.
+func DefaultConfig(n int) Config {
+	return Config{
+		PCPUs:           n,
+		Strategy:        StrategyVanilla,
+		Timeslice:       30 * sim.Millisecond,
+		Tick:            10 * sim.Millisecond,
+		AccountPeriod:   30 * sim.Millisecond,
+		Ratelimit:       1 * sim.Millisecond,
+		SALimit:         100 * sim.Microsecond,
+		PLEWindow:       25 * sim.Microsecond,
+		CoSkewThreshold: 15 * sim.Millisecond,
+		CoParkTime:      0,
+		LoadBalance:     false,
+		RepickEpsilon:   0.15,
+		IRQCost:         1 * sim.Microsecond,
+		Seed:            1,
+	}
+}
+
+// Hypervisor ties pCPUs, VMs and the credit scheduler together.
+type Hypervisor struct {
+	eng   *sim.Engine
+	cfg   Config
+	pcpus []*PCPU
+	vms   []*VM
+	rng   *sim.RNG
+
+	gangSlot   int
+	gangActive *VM
+
+	pleYields      int64
+	saSent         int64
+	saAcked        int64
+	saExpired      int64
+	saDelaySum     sim.Time
+	saDelayMax     sim.Time
+	vcpuMigrations int64
+}
+
+// New creates a hypervisor with cfg.PCPUs physical CPUs and starts its
+// periodic tick and accounting machinery on eng.
+func New(eng *sim.Engine, cfg Config) *Hypervisor {
+	if cfg.PCPUs <= 0 {
+		panic("hypervisor: need at least one pCPU")
+	}
+	h := &Hypervisor{
+		eng: eng,
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0xda7a5eed),
+	}
+	for i := 0; i < cfg.PCPUs; i++ {
+		p := &PCPU{ID: i, hv: h}
+		h.pcpus = append(h.pcpus, p)
+		// All pCPU ticks share one aligned grid, as in Xen where the
+		// credit scheduler's ticks derive from a common periodic timer.
+		eng.Every(cfg.Tick, fmt.Sprintf("xen-tick-%s", p.Name()), func() { h.tick(p) })
+	}
+	eng.Every(cfg.AccountPeriod, "xen-account", h.account)
+	if cfg.Strategy == StrategyStrictCo {
+		eng.Every(cfg.Timeslice, "xen-gang-rotate", h.strictCoRotate)
+	}
+	return h
+}
+
+// Engine exposes the simulation engine driving this hypervisor.
+func (h *Hypervisor) Engine() *sim.Engine { return h.eng }
+
+// Config returns the active configuration.
+func (h *Hypervisor) Config() Config { return h.cfg }
+
+// PCPU returns physical CPU i.
+func (h *Hypervisor) PCPU(i int) *PCPU { return h.pcpus[i] }
+
+// PCPUs returns all physical CPUs.
+func (h *Hypervisor) PCPUs() []*PCPU { return h.pcpus }
+
+// VMs returns all created VMs.
+func (h *Hypervisor) VMs() []*VM { return h.vms }
+
+// Now returns the current virtual time.
+func (h *Hypervisor) Now() sim.Time { return h.eng.Now() }
+
+// NewVM creates an SMP VM with nvcpus virtual CPUs. Guest contexts must
+// be registered with RegisterGuest before StartVCPU.
+func (h *Hypervisor) NewVM(name string, nvcpus, weight int, saCapable bool) *VM {
+	vm := &VM{
+		ID:        len(h.vms),
+		Name:      name,
+		Weight:    weight,
+		hv:        h,
+		SACapable: saCapable,
+	}
+	for i := 0; i < nvcpus; i++ {
+		v := &VCPU{
+			ID:       i,
+			VM:       vm,
+			hv:       h,
+			state:    StateOffline,
+			prio:     PrioUnder,
+			assigned: h.pcpus[i%len(h.pcpus)],
+		}
+		vm.VCPUs = append(vm.VCPUs, v)
+	}
+	h.vms = append(h.vms, vm)
+	return vm
+}
+
+// RegisterGuest binds the guest-kernel context for one vCPU.
+func (h *Hypervisor) RegisterGuest(v *VCPU, ctx GuestContext) { v.ctx = ctx }
+
+// StartVCPU brings a vCPU online in the runnable state and enqueues it.
+func (h *Hypervisor) StartVCPU(v *VCPU) {
+	if v.ctx == nil {
+		panic("hypervisor: StartVCPU before RegisterGuest for " + v.Name())
+	}
+	if v.state != StateOffline {
+		return
+	}
+	v.stateSince = h.eng.Now()
+	v.state = StateRunnable
+	p := h.placeVCPU(v)
+	v.assigned = p
+	p.enqueue(v)
+	h.checkPreempt(p)
+}
+
+// SAStats reports scheduler-activation round-trip statistics:
+// notifications sent, acknowledged, expired at the hard limit, and the
+// mean/max guest handling delay.
+func (h *Hypervisor) SAStats() (sent, acked, expired int64, meanDelay, maxDelay sim.Time) {
+	mean := sim.Time(0)
+	if h.saAcked > 0 {
+		mean = h.saDelaySum / sim.Time(h.saAcked)
+	}
+	return h.saSent, h.saAcked, h.saExpired, mean, h.saDelayMax
+}
+
+// PLEYields reports how many pause-loop exits forced a yield.
+func (h *Hypervisor) PLEYields() int64 { return h.pleYields }
+
+// VCPUMigrations reports hypervisor-level vCPU-to-pCPU migrations.
+func (h *Hypervisor) VCPUMigrations() int64 { return h.vcpuMigrations }

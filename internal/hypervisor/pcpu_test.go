@@ -1,0 +1,153 @@
+package hypervisor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// newBareVCPU builds a detached vCPU for queue-ordering tests.
+func newBareVCPU(h *Hypervisor, prio Priority, yield bool) *VCPU {
+	v := &VCPU{hv: h, state: StateRunnable, prio: prio, yieldHint: yield,
+		VM: &VM{Name: "q", hv: h}}
+	return v
+}
+
+func queueRig() (*Hypervisor, *PCPU) {
+	eng := sim.NewEngine()
+	h := New(eng, DefaultConfig(1))
+	return h, h.PCPU(0)
+}
+
+func TestRunqueuePriorityClasses(t *testing.T) {
+	h, p := queueRig()
+	over := newBareVCPU(h, PrioOver, false)
+	boost := newBareVCPU(h, PrioBoost, false)
+	under := newBareVCPU(h, PrioUnder, false)
+	p.enqueue(over)
+	p.enqueue(under)
+	p.enqueue(boost)
+	if got := p.pop(0); got != boost {
+		t.Fatalf("first pop = %v, want boost", got.prio)
+	}
+	if got := p.pop(0); got != under {
+		t.Fatalf("second pop = %v, want under", got.prio)
+	}
+	if got := p.pop(0); got != over {
+		t.Fatalf("third pop = %v, want over", got.prio)
+	}
+}
+
+func TestRunqueueFIFOWithinClass(t *testing.T) {
+	h, p := queueRig()
+	a := newBareVCPU(h, PrioUnder, false)
+	b := newBareVCPU(h, PrioUnder, false)
+	c := newBareVCPU(h, PrioUnder, false)
+	p.enqueue(a)
+	p.enqueue(b)
+	p.enqueue(c)
+	if p.pop(0) != a || p.pop(0) != b || p.pop(0) != c {
+		t.Fatal("FIFO order violated within a priority class")
+	}
+}
+
+func TestYieldHintDemotesBehindClass(t *testing.T) {
+	// A yielding vCPU queues behind vCPUs of its own class that are
+	// already waiting (Xen consumes the YIELD flag at insertion).
+	h, p := queueRig()
+	a := newBareVCPU(h, PrioUnder, false)
+	p.enqueue(a)
+	y := newBareVCPU(h, PrioUnder, true)
+	p.enqueue(y)
+	if got := p.pop(0); got != a {
+		t.Fatal("yielding vCPU jumped ahead of its class")
+	}
+	// But it still outranks lower classes.
+	h2, p2 := queueRig()
+	over := newBareVCPU(h2, PrioOver, false)
+	p2.enqueue(over)
+	y2 := newBareVCPU(h2, PrioUnder, true)
+	p2.enqueue(y2)
+	if got := p2.pop(0); got != y2 {
+		t.Fatal("yielding UNDER vCPU fell behind OVER")
+	}
+}
+
+func TestEnqueueClearsYieldHint(t *testing.T) {
+	h, p := queueRig()
+	y := newBareVCPU(h, PrioUnder, true)
+	p.enqueue(y)
+	if y.yieldHint {
+		t.Fatal("yield hint not consumed by enqueue")
+	}
+}
+
+func TestPopSkipsParked(t *testing.T) {
+	h, p := queueRig()
+	parked := newBareVCPU(h, PrioBoost, false)
+	parked.parkedUntil = 100
+	normal := newBareVCPU(h, PrioOver, false)
+	p.enqueue(parked)
+	p.enqueue(normal)
+	if got := p.pop(50); got != normal {
+		t.Fatal("pop did not skip the parked vCPU")
+	}
+	if got := p.pop(200); got != parked {
+		t.Fatal("pop skipped an expired park")
+	}
+}
+
+func TestDequeueRemoves(t *testing.T) {
+	h, p := queueRig()
+	a := newBareVCPU(h, PrioUnder, false)
+	b := newBareVCPU(h, PrioUnder, false)
+	p.enqueue(a)
+	p.enqueue(b)
+	if !p.dequeue(a) {
+		t.Fatal("dequeue reported missing")
+	}
+	if p.dequeue(a) {
+		t.Fatal("double dequeue succeeded")
+	}
+	if p.QueueLen() != 1 || p.pop(0) != b {
+		t.Fatal("queue corrupted after dequeue")
+	}
+}
+
+// Property: pops always come out in nonincreasing priority groups and
+// FIFO within a class, regardless of enqueue order.
+func TestQuickRunqueueOrdering(t *testing.T) {
+	f := func(prios []uint8) bool {
+		h, p := queueRig()
+		seq := make(map[*VCPU]int)
+		for i, pr := range prios {
+			v := newBareVCPU(h, Priority(pr%3)+PrioBoost, false)
+			p.enqueue(v)
+			seq[v] = i
+		}
+		lastPrio := PrioBoost
+		lastSeq := -1
+		for {
+			v := p.pop(0)
+			if v == nil {
+				break
+			}
+			if v.prio < lastPrio {
+				return false
+			}
+			if v.prio > lastPrio {
+				lastPrio = v.prio
+				lastSeq = -1
+			}
+			if seq[v] < lastSeq {
+				return false
+			}
+			lastSeq = seq[v]
+		}
+		return p.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

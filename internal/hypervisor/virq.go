@@ -1,0 +1,65 @@
+package hypervisor
+
+import "fmt"
+
+// IRQ identifies a virtual interrupt line delivered to a guest vCPU.
+type IRQ int
+
+const (
+	// IRQTimer is the per-vCPU one-shot timer interrupt.
+	IRQTimer IRQ = iota + 1
+	// IRQSAUpcall is the scheduler-activation upcall added by IRS
+	// (VIRQ_SA_UPCALL in the paper).
+	IRQSAUpcall
+	// IRQKick is an event-channel notification / reschedule IPI from a
+	// sibling vCPU, used to wake an idle vCPU after task migration.
+	IRQKick
+)
+
+func (i IRQ) String() string {
+	switch i {
+	case IRQTimer:
+		return "timer"
+	case IRQSAUpcall:
+		return "sa-upcall"
+	case IRQKick:
+		return "kick"
+	default:
+		return fmt.Sprintf("IRQ(%d)", int(i))
+	}
+}
+
+// SendIRQ delivers irq to v. A running vCPU takes it immediately; a
+// descheduled vCPU accumulates it as pending (taken on resume); a
+// blocked vCPU is woken first.
+func (h *Hypervisor) SendIRQ(v *VCPU, irq IRQ) {
+	switch v.state {
+	case StateRunning:
+		v.ctx.TakeIRQ(irq)
+	case StateBlocked:
+		h.pendIRQ(v, irq)
+		h.WakeVCPU(v)
+	default:
+		h.pendIRQ(v, irq)
+	}
+}
+
+func (h *Hypervisor) pendIRQ(v *VCPU, irq IRQ) {
+	for _, p := range v.pendingIRQ {
+		if p == irq {
+			return // level-triggered: collapse duplicates
+		}
+	}
+	v.pendingIRQ = append(v.pendingIRQ, irq)
+}
+
+// ClaimPendingIRQs returns and clears the interrupts that arrived while
+// the vCPU was descheduled. The guest calls this first thing on resume.
+func (h *Hypervisor) ClaimPendingIRQs(v *VCPU) []IRQ {
+	irqs := v.pendingIRQ
+	v.pendingIRQ = nil
+	return irqs
+}
+
+// HasPendingIRQ reports whether any interrupt is pending on v.
+func (h *Hypervisor) HasPendingIRQ(v *VCPU) bool { return len(v.pendingIRQ) > 0 }

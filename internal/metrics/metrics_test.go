@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestReservoirBasics(t *testing.T) {
+	var r Reservoir
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 || r.Percentile(99) != 0 {
+		t.Fatal("empty reservoir should be all zeros")
+	}
+	for _, v := range []sim.Time{30, 10, 20} {
+		r.Add(v)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.Mean() != 20 {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if r.Max() != 30 {
+		t.Fatalf("max = %v", r.Max())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var r Reservoir
+	for i := 1; i <= 100; i++ {
+		r.Add(sim.Time(i))
+	}
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{50, 50}, {90, 90}, {99, 99}, {100, 100}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileAfterMoreAdds(t *testing.T) {
+	var r Reservoir
+	r.Add(5)
+	_ = r.Percentile(50) // forces a sort
+	r.Add(1)             // invalidates it
+	if got := r.Percentile(1); got != 1 {
+		t.Fatalf("P1 = %v after re-add, want 1", got)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Reservoir
+		min, max := sim.Time(raw[0]), sim.Time(raw[0])
+		for _, v := range raw {
+			tv := sim.Time(v)
+			r.Add(tv)
+			if tv < min {
+				min = tv
+			}
+			if tv > max {
+				max = tv
+			}
+		}
+		p := float64(pRaw%100) + 1
+		got := r.Percentile(p)
+		return got >= min && got <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+	if math.Abs(s.Stddev-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("nil input should summarize to zero")
+	}
+}
+
+func TestImprovementSigns(t *testing.T) {
+	if got := Improvement(10, 5); got != 50 {
+		t.Fatalf("Improvement(10,5) = %v", got)
+	}
+	if got := Improvement(10, 20); got != -100 {
+		t.Fatalf("Improvement(10,20) = %v", got)
+	}
+	if got := Improvement(0, 5); got != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+	if got := ThroughputImprovement(100, 112); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("ThroughputImprovement = %v", got)
+	}
+}
+
+func TestSpeedupAndWeighted(t *testing.T) {
+	if got := Speedup(10, 5); got != 2 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if got := WeightedSpeedup(1.4, 1.0); math.Abs(got-1.2) > 1e-9 {
+		t.Fatalf("WeightedSpeedup = %v", got)
+	}
+}
+
+func TestFairShare(t *testing.T) {
+	// One pCPU shared by 2 VMs + three exclusive pCPUs.
+	got := FairShare(sim.Second, []int{2, 1, 1, 1})
+	want := sim.Second/2 + 3*sim.Second
+	if got != want {
+		t.Fatalf("FairShare = %v, want %v", got, want)
+	}
+	if FairShare(sim.Second, []int{0}) != 0 {
+		t.Fatal("zero sharers should contribute nothing")
+	}
+}
+
+func TestQuickImprovementSpeedupConsistency(t *testing.T) {
+	// improvement > 0 <=> speedup > 1.
+	f := func(a, b uint16) bool {
+		base := float64(a) + 1
+		meas := float64(b) + 1
+		imp := Improvement(base, meas)
+		sp := Speedup(base, meas)
+		return (imp > 0) == (sp > 1) || imp == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

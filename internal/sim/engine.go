@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when the event queue drains before the
+// requested horizon. A simulation with periodic timers should never go
+// quiet, so an empty queue usually means every actor blocked.
+var ErrDeadlock = errors.New("sim: event queue empty before horizon")
+
+// Engine is a single-threaded discrete-event simulation loop.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with an empty queue at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events dispatched so far (for diagnostics).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, e.now))
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.seq, Name: name}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn after delay d from now.
+func (e *Engine) After(d Time, name string, fn func()) *Event {
+	return e.At(e.now+d, name, fn)
+}
+
+// Every schedules fn to run every period d, first firing after d.
+func (e *Engine) Every(d Time, name string, fn func()) *Event {
+	if d <= 0 {
+		panic("sim: non-positive period for " + name)
+	}
+	ev := e.After(d, name, fn)
+	ev.Period = d
+	return ev
+}
+
+// Cancel removes ev from the queue. It is safe to cancel a nil, already
+// fired, or already cancelled event.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.dead {
+		return
+	}
+	ev.dead = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step dispatches the single next event. It reports false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		if ev.Period > 0 {
+			// Re-arm the same object before firing so the callback (or a
+			// later caller holding the handle) can still Cancel it.
+			ev.At += ev.Period
+			ev.seq = e.seq
+			e.seq++
+			heap.Push(&e.queue, ev)
+		} else {
+			ev.dead = true
+			ev.index = -1
+		}
+		e.fired++
+		ev.Fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the horizon is reached, Stop is called, or
+// the queue drains. When the queue drains early it returns ErrDeadlock.
+func (e *Engine) Run(horizon Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			return fmt.Errorf("%w at %v (horizon %v)", ErrDeadlock, e.now, horizon)
+		}
+		if e.queue[0].At > horizon {
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// RunUntilQuiet dispatches events until the queue drains or until the
+// hard cap is hit, whichever comes first. Workload-completion driven
+// simulations use this; periodic timers must be cancelled by the caller
+// when the workload finishes, otherwise the cap applies.
+func (e *Engine) RunUntilQuiet(cap Time) error {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 {
+		if e.queue[0].At > cap {
+			e.now = cap
+			return fmt.Errorf("sim: horizon cap %v exceeded", cap)
+		}
+		e.Step()
+	}
+	return nil
+}

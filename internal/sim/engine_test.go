@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	eng := NewEngine()
+	var got []Time
+	for _, d := range []Time{5, 1, 3, 2, 4} {
+		d := d
+		eng.At(d, "e", func() { got = append(got, d) })
+	}
+	if err := eng.Run(10); err != nil && !errors.Is(err, ErrDeadlock) {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(7, "e", func() { got = append(got, i) })
+	}
+	_ = eng.Run(10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	ev := eng.At(5, "e", func() { fired = true })
+	eng.At(1, "canceller", func() { eng.Cancel(ev) })
+	_ = eng.Run(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.At(5, "e", func() {})
+	eng.Cancel(ev)
+	eng.Cancel(ev)
+	eng.Cancel(nil)
+}
+
+func TestPeriodicEventReArmsAndCancels(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	ev := eng.Every(10, "tick", func() { count++ })
+	eng.At(55, "stop", func() { eng.Cancel(ev) })
+	eng.At(200, "end", func() {})
+	_ = eng.Run(200)
+	if count != 5 {
+		t.Fatalf("periodic fired %d times, want 5 (at 10..50)", count)
+	}
+}
+
+func TestPeriodicCancelFromOwnCallback(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	var ev *Event
+	ev = eng.Every(10, "tick", func() {
+		count++
+		if count == 3 {
+			eng.Cancel(ev)
+		}
+	})
+	eng.At(100, "end", func() {})
+	_ = eng.Run(100)
+	if count != 3 {
+		t.Fatalf("fired %d, want 3", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.At(10, "later", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic scheduling in the past")
+			}
+		}()
+		eng.At(5, "past", func() {})
+	})
+	_ = eng.Run(20)
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(100, "late", func() { fired = true })
+	if err := eng.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if eng.Now() != 50 {
+		t.Fatalf("clock at %v, want 50", eng.Now())
+	}
+	// Continuing past the horizon fires it.
+	if err := eng.Run(200); err != nil && !errors.Is(err, ErrDeadlock) {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event did not fire on second run")
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	eng := NewEngine()
+	eng.At(5, "only", func() {})
+	err := eng.Run(100)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	eng.Every(1, "tick", func() {
+		count++
+		if count == 7 {
+			eng.Stop()
+		}
+	})
+	if err := eng.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+}
+
+func TestEventCallbackMayScheduleMore(t *testing.T) {
+	eng := NewEngine()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 50 {
+			eng.After(1, "chain", chain)
+		}
+	}
+	eng.After(1, "chain", chain)
+	_ = eng.Run(1000)
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if eng.Now() > 1000 {
+		t.Fatalf("clock ran away: %v", eng.Now())
+	}
+}
+
+// Property: any batch of events fires in nondecreasing time order and
+// exactly once.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		eng := NewEngine()
+		fired := make(map[int]int)
+		var last Time = -1
+		ok := true
+		for i, d := range delays {
+			i := i
+			at := Time(d)
+			eng.At(at, "e", func() {
+				fired[i]++
+				if eng.Now() < last {
+					ok = false
+				}
+				last = eng.Now()
+			})
+		}
+		err := eng.Run(Time(1 << 20))
+		if len(delays) > 0 && !errors.Is(err, ErrDeadlock) {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for _, n := range fired {
+			if n != 1 {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset fires exactly the rest.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(delays []uint8, mask []bool) bool {
+		eng := NewEngine()
+		events := make([]*Event, len(delays))
+		fired := make([]bool, len(delays))
+		for i, d := range delays {
+			i := i
+			events[i] = eng.At(Time(d)+1, "e", func() { fired[i] = true })
+		}
+		for i := range events {
+			if i < len(mask) && mask[i] {
+				eng.Cancel(events[i])
+			}
+		}
+		_ = eng.Run(Time(1 << 12))
+		for i := range events {
+			cancelled := i < len(mask) && mask[i]
+			if fired[i] == cancelled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{Second + Second/2, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

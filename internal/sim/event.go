@@ -1,0 +1,55 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are ordered by (At, seq) so that
+// two events at the same instant fire in scheduling order, which keeps
+// runs deterministic.
+type Event struct {
+	At     Time
+	Fn     func()
+	seq    uint64
+	index  int // heap index; -1 when not queued
+	dead   bool
+	Name   string // optional label for tracing/debugging
+	Period Time   // if > 0 the engine re-arms the event after it fires
+}
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e == nil || e.dead }
+
+// eventQueue is a binary min-heap of events keyed by (At, seq).
+type eventQueue []*Event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

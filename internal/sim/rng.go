@@ -1,0 +1,82 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (SplitMix64). Each simulated actor gets its own stream derived from
+// the run seed so that adding an actor never perturbs another actor's
+// draws.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent stream labelled by id.
+func (r *RNG) Fork(id uint64) *RNG {
+	// Mix the label through one SplitMix64 round of a copy so forked
+	// streams neither advance nor correlate with the parent.
+	mixed := r.state + 0x9e3779b97f4a7c15*(id+1)
+	return &RNG{state: splitmix(&mixed)}
+}
+
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 { return splitmix(&r.state) }
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f].
+// It never returns less than 1ns for positive d.
+func (r *RNG) Jitter(d Time, f float64) Time {
+	if d <= 0 || f <= 0 {
+		return d
+	}
+	scale := 1 + f*(2*r.Float64()-1)
+	j := Time(float64(d) * scale)
+	if j < 1 {
+		j = 1
+	}
+	return j
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// truncated at 20x the mean to keep event times finite.
+func (r *RNG) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	d := Time(-float64(mean) * math.Log(1-u))
+	if cap := 20 * mean; d > cap {
+		d = cap
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestForkIndependentOfParentDraws(t *testing.T) {
+	a := NewRNG(7)
+	fork1 := a.Fork(3)
+	a.Uint64() // advance parent
+	b := NewRNG(7)
+	fork2 := b.Fork(3)
+	for i := 0; i < 10; i++ {
+		if fork1.Uint64() != fork2.Uint64() {
+			t.Fatal("fork depends on parent draw position only via state; expected equal streams")
+		}
+	}
+}
+
+func TestForkDistinctIDs(t *testing.T) {
+	a := NewRNG(7)
+	f1, f2 := a.Fork(1), a.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks with different ids produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	r := NewRNG(5)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickJitterBounds(t *testing.T) {
+	r := NewRNG(6)
+	f := func(d uint32, fRaw uint8) bool {
+		base := Time(d) + 1
+		frac := float64(fRaw%50+1) / 100 // 0.01 .. 0.50
+		j := r.Jitter(base, frac)
+		lo := Time(float64(base) * (1 - frac - 1e-9))
+		hi := Time(float64(base)*(1+frac) + 1)
+		return j >= max(1, lo-1) && j <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitterZeroFactorIsIdentity(t *testing.T) {
+	r := NewRNG(8)
+	if got := r.Jitter(12345, 0); got != 12345 {
+		t.Fatalf("Jitter(..., 0) = %v", got)
+	}
+}
+
+func TestExpMeanRoughlyCorrect(t *testing.T) {
+	r := NewRNG(11)
+	const mean = Time(1000000)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.05*float64(mean) {
+		t.Fatalf("Exp mean = %.0f, want ~%d", got, mean)
+	}
+}
+
+func TestExpPositiveAndCapped(t *testing.T) {
+	r := NewRNG(12)
+	const mean = Time(1000)
+	for i := 0; i < 10000; i++ {
+		v := r.Exp(mean)
+		if v < 1 || v > 20*mean {
+			t.Fatalf("Exp out of bounds: %v", v)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue, cancellable timers, and seeded random
+// number streams. All higher layers (hypervisor, guest OS, workloads)
+// are driven by this kernel, so a given seed reproduces a run exactly.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Common durations expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to virtual time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Std converts a virtual time span back to a standard library duration.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds reports t as floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

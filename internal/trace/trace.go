@@ -1,0 +1,148 @@
+// Package trace records scheduling events from the hypervisor and
+// guest kernels into a bounded in-memory log, for debugging scenarios
+// and for rendering execution timelines (cmd/irstrace). Tracing is
+// optional: components emit events through the Recorder interface only
+// when one is attached.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+const (
+	// KindVCPUState is a hypervisor vCPU runstate transition.
+	KindVCPUState Kind = iota + 1
+	// KindSwitch is a pCPU context switch.
+	KindSwitch
+	// KindSA is a scheduler-activation event (sent/acked/expired).
+	KindSA
+	// KindTask is a guest task state transition.
+	KindTask
+	// KindMigrate is a guest task migration.
+	KindMigrate
+	// KindNote is a free-form annotation.
+	KindNote
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindVCPUState:
+		return "vcpu"
+	case KindSwitch:
+		return "switch"
+	case KindSA:
+		return "sa"
+	case KindTask:
+		return "task"
+	case KindMigrate:
+		return "migrate"
+	case KindNote:
+		return "note"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At      sim.Time
+	Kind    Kind
+	Subject string // vCPU/task/pCPU name
+	Detail  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12s %-8s %-12s %s", e.At, e.Kind, e.Subject, e.Detail)
+}
+
+// Log is a bounded ring of events. The zero value is unbounded until
+// SetLimit is called; NewLog sets a limit up front.
+type Log struct {
+	limit   int
+	events  []Event
+	dropped uint64
+}
+
+// NewLog creates a log keeping at most limit events (0 = unbounded).
+func NewLog(limit int) *Log {
+	return &Log{limit: limit}
+}
+
+// Record appends an event, evicting the oldest past the limit.
+func (l *Log) Record(at sim.Time, kind Kind, subject, detail string) {
+	l.events = append(l.events, Event{At: at, Kind: kind, Subject: subject, Detail: detail})
+	if l.limit > 0 && len(l.events) > l.limit {
+		over := len(l.events) - l.limit
+		l.events = l.events[over:]
+		l.dropped += uint64(over)
+	}
+}
+
+// Recordf formats and records an event.
+func (l *Log) Recordf(at sim.Time, kind Kind, subject, format string, args ...any) {
+	l.Record(at, kind, subject, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events in order.
+func (l *Log) Events() []Event { return l.events }
+
+// Dropped reports how many events were evicted.
+func (l *Log) Dropped() uint64 { return l.dropped }
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Filter returns events matching kind (and subject, when non-empty).
+func (l *Log) Filter(kind Kind, subject string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind != kind {
+			continue
+		}
+		if subject != "" && e.Subject != subject {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes the retained events to w, optionally restricted to a
+// time window (to == 0 means no upper bound).
+func (l *Log) Dump(w io.Writer, from, to sim.Time) error {
+	for _, e := range l.events {
+		if e.At < from || (to > 0 && e.At > to) {
+			continue
+		}
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if l.dropped > 0 {
+		_, err := fmt.Fprintf(w, "(%d earlier events dropped)\n", l.dropped)
+		return err
+	}
+	return nil
+}
+
+// Summary aggregates event counts by kind.
+func (l *Log) Summary() string {
+	counts := map[Kind]int{}
+	for _, e := range l.events {
+		counts[e.Kind]++
+	}
+	var b strings.Builder
+	for k := KindVCPUState; k <= KindNote; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, "%s=%d ", k, counts[k])
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

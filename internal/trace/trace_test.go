@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	l := NewLog(0)
+	l.Record(10, KindSA, "fg/v0", "sent")
+	l.Recordf(20, KindMigrate, "task-1", "cpu%d -> cpu%d", 0, 1)
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	evs := l.Events()
+	if evs[0].At != 10 || evs[0].Kind != KindSA {
+		t.Fatalf("bad first event: %+v", evs[0])
+	}
+	if evs[1].Detail != "cpu0 -> cpu1" {
+		t.Fatalf("bad formatted detail: %q", evs[1].Detail)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 10; i++ {
+		l.Record(sim.Time(i), KindNote, "s", "")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", l.Dropped())
+	}
+	if l.Events()[0].At != 7 {
+		t.Fatalf("oldest retained = %v, want 7", l.Events()[0].At)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := NewLog(0)
+	l.Record(1, KindSA, "a", "sent")
+	l.Record(2, KindSA, "b", "sent")
+	l.Record(3, KindTask, "a", "blocked")
+	if got := len(l.Filter(KindSA, "")); got != 2 {
+		t.Fatalf("Filter(SA) = %d", got)
+	}
+	if got := len(l.Filter(KindSA, "a")); got != 1 {
+		t.Fatalf("Filter(SA, a) = %d", got)
+	}
+	if got := len(l.Filter(KindMigrate, "")); got != 0 {
+		t.Fatalf("Filter(Migrate) = %d", got)
+	}
+}
+
+func TestDumpWindow(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 10; i++ {
+		l.Record(sim.Time(i)*sim.Millisecond, KindNote, "s", "x")
+	}
+	var b strings.Builder
+	if err := l.Dump(&b, 3*sim.Millisecond, 5*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != 3 {
+		t.Fatalf("dumped %d lines, want 3 (t=3,4,5ms)", lines)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	l := NewLog(0)
+	l.Record(1, KindSA, "a", "")
+	l.Record(2, KindSA, "a", "")
+	l.Record(3, KindSwitch, "p0", "")
+	s := l.Summary()
+	if !strings.Contains(s, "sa=2") || !strings.Contains(s, "switch=1") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 5 * sim.Millisecond, Kind: KindSA, Subject: "fg/v0", Detail: "sent"}
+	s := e.String()
+	if !strings.Contains(s, "5.000ms") || !strings.Contains(s, "sa") || !strings.Contains(s, "fg/v0") {
+		t.Fatalf("event string = %q", s)
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+// Open-loop server mode: requests arrive from simulated external
+// clients with exponential inter-arrival times and queue until a worker
+// thread picks them up, so recorded latency includes queueing delay.
+// This complements the closed-loop mode (ServerSpec.Arrival == 0) and
+// makes latency-vs-load studies possible: an interfered, slowed server
+// builds queues and its tail latency explodes well before throughput
+// does.
+
+type openServerShared struct {
+	*serverShared
+	queue    []sim.Time // arrival times of waiting requests
+	sleepers []openSleeper
+	kern     *guest.Kernel
+	genRNG   *sim.RNG
+	Dropped  int64
+}
+
+type openSleeper struct {
+	t    *guest.Task
+	cont func()
+}
+
+// openWorker is one server thread in open-loop mode.
+type openWorker struct {
+	sh  *openServerShared
+	rng *sim.RNG
+}
+
+// Step implements guest.Program: take the next request or sleep.
+func (w *openWorker) Step(t *guest.Task) guest.Action {
+	sh := w.sh
+	if t.Kernel().Now() >= sh.until && len(sh.queue) == 0 {
+		return guest.Exit()
+	}
+	return guest.RunThen(0, func(tk *guest.Task, resume func()) {
+		w.take(tk, resume)
+	})
+}
+
+// take pops a request and services it, or sleeps until one arrives.
+func (w *openWorker) take(t *guest.Task, resume func()) {
+	sh := w.sh
+	if len(sh.queue) == 0 {
+		if t.Kernel().Now() >= sh.until {
+			resume() // Step will exit
+			return
+		}
+		sh.sleepers = append(sh.sleepers, openSleeper{t: t, cont: func() {
+			w.take(t, resume)
+		}})
+		t.Kernel().BlockTask(t)
+		return
+	}
+	arrival := sh.queue[0]
+	sh.queue = sh.queue[1:]
+	service := w.rng.Exp(sh.spec.Service)
+	t.Kernel().RunInTask(t, service, func() {
+		now := t.Kernel().Now()
+		sh.stats.Requests++
+		sh.stats.Latency.Add(now - arrival)
+		if el := now - sh.startedAt; el > sh.stats.Elapsed {
+			sh.stats.Elapsed = el
+		}
+		resume()
+	})
+}
+
+// generate schedules the next external arrival.
+func (sh *openServerShared) generate() {
+	now := sh.kern.Now()
+	if now >= sh.until {
+		// Run down: wake every sleeper so workers can exit.
+		sl := sh.sleepers
+		sh.sleepers = nil
+		for _, s := range sl {
+			sh.kern.WakeTask(s.t, s.cont)
+		}
+		return
+	}
+	sh.queue = append(sh.queue, now)
+	if len(sh.sleepers) > 0 {
+		s := sh.sleepers[0]
+		sh.sleepers = sh.sleepers[1:]
+		sh.kern.WakeTask(s.t, s.cont)
+	}
+	sh.kern.Engine().After(sh.genRNG.Exp(sh.spec.Arrival), "arrival-"+sh.spec.Name, sh.generate)
+}
+
+// newOpenServer wires the open-loop variant; called from NewServer when
+// spec.Arrival > 0.
+func newOpenServer(kern *guest.Kernel, spec ServerSpec, seed uint64, stats *ServerStats) *Instance {
+	in := &Instance{Name: spec.Name, kern: kern}
+	in.spawn = func() {
+		sh := &openServerShared{
+			serverShared: &serverShared{
+				spec:      spec,
+				stats:     stats,
+				rng:       sim.NewRNG(seed ^ 0x09e27),
+				startedAt: kern.Now(),
+				until:     kern.Now() + spec.Duration,
+			},
+			kern: kern,
+		}
+		sh.genRNG = sh.rng.Fork(999)
+		for i := 0; i < spec.Threads; i++ {
+			w := &openWorker{sh: sh, rng: sh.rng.Fork(uint64(i))}
+			kern.Spawn(fmt.Sprintf("%s-%d", spec.Name, i), w, i%len(kern.CPUs()))
+		}
+		// External clients: arrivals run on the engine, not on a vCPU.
+		kern.Engine().After(sh.genRNG.Exp(spec.Arrival), "arrival-"+spec.Name, sh.generate)
+		// A final sweep at the deadline releases any sleeping workers.
+		kern.Engine().At(sh.until, "arrival-end-"+spec.Name, sh.generate)
+	}
+	return in
+}

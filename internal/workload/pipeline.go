@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/guestsync"
+	"repro/internal/sim"
+)
+
+// PipelineSpec models pipeline-parallel benchmarks (dedup: 4 stages,
+// ferret: 5 stages, each with several worker threads per stage). Items
+// flow through bounded queues guarded by mutex + condition variables.
+// Because every vCPU hosts several ready threads, the stock guest
+// balancer already copes with preemption, which is why the paper sees
+// only marginal IRS gains for these (§5.2).
+type PipelineSpec struct {
+	Name            string
+	Stages          int
+	ThreadsPerStage int
+	Items           int
+	// WorkPerStage is the mean compute one item needs in each stage.
+	WorkPerStage sim.Time
+	Imbalance    float64
+	QueueCap     int
+}
+
+// TotalWork returns the nominal aggregate compute of one run.
+func (s PipelineSpec) TotalWork() sim.Time {
+	return sim.Time(s.Items*s.Stages) * s.WorkPerStage
+}
+
+// pipeQueue is a bounded blocking queue of work items.
+type pipeQueue struct {
+	kern     *guest.Kernel
+	mu       *guestsync.Mutex
+	notEmpty *guestsync.Cond
+	notFull  *guestsync.Cond
+	items    int
+	cap      int
+	closed   bool
+}
+
+func newPipeQueue(kern *guest.Kernel, cap int) *pipeQueue {
+	return &pipeQueue{
+		kern:     kern,
+		mu:       guestsync.NewMutex(kern),
+		notEmpty: guestsync.NewCond(kern),
+		notFull:  guestsync.NewCond(kern),
+		cap:      cap,
+	}
+}
+
+// push adds an item, blocking while full.
+func (q *pipeQueue) push(t *guest.Task, cont func()) {
+	q.mu.Lock(t, func() { q.pushLocked(t, cont) })
+}
+
+func (q *pipeQueue) pushLocked(t *guest.Task, cont func()) {
+	if q.items >= q.cap {
+		q.notFull.Wait(t, q.mu, func() { q.pushLocked(t, cont) })
+		return
+	}
+	q.items++
+	q.notEmpty.Signal()
+	q.mu.Unlock(t)
+	cont()
+}
+
+// pop removes an item, blocking while empty; cont receives ok=false
+// when the queue is closed and drained.
+func (q *pipeQueue) pop(t *guest.Task, cont func(ok bool)) {
+	q.mu.Lock(t, func() { q.popLocked(t, cont) })
+}
+
+func (q *pipeQueue) popLocked(t *guest.Task, cont func(ok bool)) {
+	if q.items == 0 {
+		if q.closed {
+			q.mu.Unlock(t)
+			cont(false)
+			return
+		}
+		q.notEmpty.Wait(t, q.mu, func() { q.popLocked(t, cont) })
+		return
+	}
+	q.items--
+	q.notFull.Signal()
+	q.mu.Unlock(t)
+	cont(true)
+}
+
+// close marks the queue finished; blocked poppers drain then stop.
+func (q *pipeQueue) close(t *guest.Task, cont func()) {
+	q.mu.Lock(t, func() {
+		q.closed = true
+		q.notEmpty.Broadcast()
+		q.mu.Unlock(t)
+		cont()
+	})
+}
+
+// pipeShared is per-instance pipeline state.
+type pipeShared struct {
+	spec   PipelineSpec
+	queues []*pipeQueue // queues[i] feeds stage i (stage 0 self-feeds)
+	// producersLeft[i] counts live threads of stage i, to close the
+	// downstream queue when a stage finishes.
+	producersLeft []int
+	rng           *sim.RNG
+}
+
+// pipeWorker is one thread of one pipeline stage.
+type pipeWorker struct {
+	sh    *pipeShared
+	stage int
+	// stage-0 workers generate toGen items then finish.
+	toGen int
+	done  bool
+	rng   *sim.RNG
+}
+
+// Step implements guest.Program. Stage 0 generates items; later stages
+// pop, compute, and push onward. Each Step handles one item.
+func (w *pipeWorker) Step(t *guest.Task) guest.Action {
+	if w.done {
+		return guest.Exit()
+	}
+	sh := w.sh
+	work := w.rng.Jitter(sh.spec.WorkPerStage, sh.spec.Imbalance)
+	if w.stage == 0 {
+		if w.toGen == 0 {
+			w.done = true
+			return guest.RunThen(0, func(t *guest.Task, resume func()) {
+				w.finishStage(t, resume)
+			})
+		}
+		w.toGen--
+		return guest.RunThen(work, func(t *guest.Task, resume func()) {
+			sh.queues[1].push(t, resume)
+		})
+	}
+	// Later stage: pop an item, compute, pass on.
+	return guest.RunThen(0, func(t *guest.Task, resume func()) {
+		sh.queues[w.stage].pop(t, func(ok bool) {
+			if !ok {
+				w.done = true
+				w.finishStage(t, resume)
+				return
+			}
+			t.Kernel().RunInTask(t, work, func() {
+				if w.stage == sh.spec.Stages-1 {
+					resume()
+					return
+				}
+				sh.queues[w.stage+1].push(t, resume)
+			})
+		})
+	})
+}
+
+// finishStage decrements the live count of this stage and closes the
+// downstream queue when the stage has fully drained.
+func (w *pipeWorker) finishStage(t *guest.Task, cont func()) {
+	sh := w.sh
+	sh.producersLeft[w.stage]--
+	if sh.producersLeft[w.stage] == 0 && w.stage < sh.spec.Stages-1 {
+		sh.queues[w.stage+1].close(t, cont)
+		return
+	}
+	cont()
+}
+
+// NewPipeline instantiates a pipeline benchmark on kern.
+func NewPipeline(kern *guest.Kernel, spec PipelineSpec, seed uint64) *Instance {
+	if spec.Stages < 2 {
+		panic("workload: pipeline needs at least 2 stages")
+	}
+	if spec.QueueCap <= 0 {
+		spec.QueueCap = 8
+	}
+	in := &Instance{Name: spec.Name, kern: kern}
+	in.spawn = func() {
+		sh := &pipeShared{
+			spec:          spec,
+			rng:           sim.NewRNG(seed ^ 0x9199e),
+			producersLeft: make([]int, spec.Stages),
+		}
+		sh.queues = make([]*pipeQueue, spec.Stages)
+		for i := 1; i < spec.Stages; i++ {
+			sh.queues[i] = newPipeQueue(kern, spec.QueueCap)
+		}
+		ncpu := len(kern.CPUs())
+		n := 0
+		for s := 0; s < spec.Stages; s++ {
+			sh.producersLeft[s] = spec.ThreadsPerStage
+			for i := 0; i < spec.ThreadsPerStage; i++ {
+				w := &pipeWorker{sh: sh, stage: s, rng: sh.rng.Fork(uint64(s*100 + i))}
+				if s == 0 {
+					w.toGen = spec.Items / spec.ThreadsPerStage
+					if i < spec.Items%spec.ThreadsPerStage {
+						w.toGen++
+					}
+				}
+				kern.Spawn(fmt.Sprintf("%s-s%d-%d", spec.Name, s, i), w, n%ncpu)
+				n++
+			}
+		}
+	}
+	return in
+}

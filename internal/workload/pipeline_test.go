@@ -1,0 +1,127 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestPipelineBackpressure(t *testing.T) {
+	// Stage 1 is much slower than stage 0; the bounded queue must
+	// throttle the producer rather than grow without bound, and the
+	// run must still complete.
+	eng, kern := rig(t, 2)
+	spec := workload.PipelineSpec{
+		Name: "bp", Stages: 2, ThreadsPerStage: 1, Items: 50,
+		WorkPerStage: 2 * sim.Millisecond, QueueCap: 2,
+	}
+	in := workload.NewPipeline(kern, spec, 1)
+	runInstance(t, eng, kern, in, 30*sim.Second)
+	// Producer and consumer have equal per-item work here; runtime is
+	// dominated by the slowest stage: ~50 × 2ms plus pipeline fill.
+	if in.Runtime() < 100*sim.Millisecond {
+		t.Fatalf("runtime %v implausibly fast", in.Runtime())
+	}
+}
+
+func TestPipelineManyStagesDrain(t *testing.T) {
+	eng, kern := rig(t, 4)
+	spec := workload.PipelineSpec{
+		Name: "deep", Stages: 5, ThreadsPerStage: 4, Items: 120,
+		WorkPerStage: 300 * sim.Microsecond, Imbalance: 0.4, QueueCap: 8,
+	}
+	in := workload.NewPipeline(kern, spec, 7)
+	runInstance(t, eng, kern, in, 60*sim.Second)
+	if kern.LiveTasks() != 0 {
+		t.Fatalf("%d tasks leaked", kern.LiveTasks())
+	}
+}
+
+func TestPipelineUnevenItemSplit(t *testing.T) {
+	// Items not divisible by the stage-0 thread count must still all be
+	// produced and consumed.
+	eng, kern := rig(t, 2)
+	spec := workload.PipelineSpec{
+		Name: "odd", Stages: 2, ThreadsPerStage: 3, Items: 10,
+		WorkPerStage: 200 * sim.Microsecond, QueueCap: 4,
+	}
+	in := workload.NewPipeline(kern, spec, 1)
+	runInstance(t, eng, kern, in, 30*sim.Second)
+	if in.Completions != 1 {
+		t.Fatal("pipeline with uneven split did not finish")
+	}
+}
+
+func TestPipelinePanicsOnSingleStage(t *testing.T) {
+	_, kern := rig(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a 1-stage pipeline")
+		}
+	}()
+	workload.NewPipeline(kern, workload.PipelineSpec{
+		Name: "bad", Stages: 1, ThreadsPerStage: 1, Items: 1, WorkPerStage: sim.Millisecond,
+	}, 1)
+}
+
+func TestParallelTotalWork(t *testing.T) {
+	spec := workload.ParallelSpec{
+		Iterations: 10, Work: 5 * sim.Millisecond,
+		LocksPerIter: 2, CSLen: 100 * sim.Microsecond,
+	}
+	want := sim.Time(10) * (5*sim.Millisecond + 200*sim.Microsecond)
+	if got := spec.TotalWork(); got != want {
+		t.Fatalf("TotalWork = %v, want %v", got, want)
+	}
+}
+
+func TestImbalanceIncreasesBarrierWait(t *testing.T) {
+	// Higher per-iteration jitter means more time lost at barriers:
+	// runtime grows with Imbalance for the same nominal work.
+	run := func(imb float64) sim.Time {
+		eng, kern := rig(t, 4)
+		spec := workload.ParallelSpec{
+			Name: "imb", Mode: workload.SyncBlocking,
+			Iterations: 100, Work: 5 * sim.Millisecond,
+			Imbalance: imb, BarrierEvery: 1,
+		}
+		in := workload.NewParallel(kern, spec, 3)
+		runInstance(t, eng, kern, in, 30*sim.Second)
+		return in.Runtime()
+	}
+	smooth := run(0)
+	jittery := run(0.5)
+	if jittery <= smooth {
+		t.Fatalf("imbalance 0.5 runtime %v <= balanced %v", jittery, smooth)
+	}
+}
+
+func TestTicketLockSpecSelectsFIFO(t *testing.T) {
+	eng, kern := rig(t, 2)
+	spec := workload.ParallelSpec{
+		Name: "tl", Mode: workload.SyncSpinning, Threads: 2,
+		Iterations: 20, Work: sim.Millisecond,
+		LocksPerIter: 2, CSLen: 50 * sim.Microsecond,
+		TicketLock: true,
+	}
+	in := workload.NewParallel(kern, spec, 1)
+	runInstance(t, eng, kern, in, 30*sim.Second)
+	if in.Runtime() <= 0 {
+		t.Fatal("ticket-lock workload did not run")
+	}
+}
+
+func TestWorkStealTotalWork(t *testing.T) {
+	spec := workload.WorkStealSpec{Chunks: 10, ChunkWork: 3 * sim.Millisecond}
+	if got := spec.TotalWork(); got != 30*sim.Millisecond {
+		t.Fatalf("TotalWork = %v", got)
+	}
+}
+
+func TestPipelineTotalWork(t *testing.T) {
+	spec := workload.PipelineSpec{Stages: 4, Items: 10, WorkPerStage: sim.Millisecond}
+	if got := spec.TotalWork(); got != 40*sim.Millisecond {
+		t.Fatalf("TotalWork = %v", got)
+	}
+}

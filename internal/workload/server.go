@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/guestsync"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// ServerSpec models multi-threaded request-processing workloads
+// (§5.3): SPECjbb-style warehouses (few threads, one per vCPU, modest
+// service times, occasional shared lock) and ab-style webservers (many
+// short-request threads per vCPU). Workers run a closed loop for
+// Duration; each request's latency — queueing included — is recorded.
+type ServerSpec struct {
+	Name    string
+	Threads int
+	// Service is the mean request service time (exponentially
+	// distributed).
+	Service sim.Time
+	// Think is the mean pause between requests (0 = saturated).
+	Think sim.Time
+	// LockEvery makes every n-th request acquire a shared mutex for
+	// LockCS (0 = no locking).
+	LockEvery int
+	LockCS    sim.Time
+	// Duration is how long the measurement runs.
+	Duration sim.Time
+	// Arrival, when non-zero, switches the server to an open loop:
+	// requests arrive with exponential inter-arrival times (mean
+	// Arrival) into a shared queue that the worker threads drain, so
+	// latency includes queueing delay. Zero keeps the closed loop
+	// (each worker issues its next request immediately).
+	Arrival sim.Time
+}
+
+// ServerStats captures the paper's server metrics.
+type ServerStats struct {
+	Requests int64
+	Latency  *metrics.Reservoir
+	Elapsed  sim.Time
+}
+
+// Throughput returns completed requests per virtual second.
+func (s *ServerStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / s.Elapsed.Seconds()
+}
+
+type serverShared struct {
+	spec      ServerSpec
+	stats     *ServerStats
+	mu        *guestsync.Mutex
+	rng       *sim.RNG
+	startedAt sim.Time
+	until     sim.Time
+}
+
+type serverWorker struct {
+	sh   *serverShared
+	rng  *sim.RNG
+	reqs int
+}
+
+// Step implements guest.Program: one request per step.
+func (w *serverWorker) Step(t *guest.Task) guest.Action {
+	sh := w.sh
+	if t.Kernel().Now() >= sh.until {
+		return guest.Exit()
+	}
+	w.reqs++
+	service := w.rng.Exp(sh.spec.Service)
+	start := t.Kernel().Now()
+	finish := func(resume func()) {
+		sh.stats.Requests++
+		sh.stats.Latency.Add(t.Kernel().Now() - start)
+		if el := t.Kernel().Now() - sh.startedAt; el > sh.stats.Elapsed {
+			sh.stats.Elapsed = el
+		}
+		if sh.spec.Think > 0 {
+			t.Kernel().SleepTask(t, w.rng.Exp(sh.spec.Think), resume)
+			return
+		}
+		resume()
+	}
+	locked := sh.spec.LockEvery > 0 && w.reqs%sh.spec.LockEvery == 0
+	return guest.RunThen(service, func(t *guest.Task, resume func()) {
+		if !locked {
+			finish(resume)
+			return
+		}
+		sh.mu.Lock(t, func() {
+			t.Kernel().RunInTask(t, sh.spec.LockCS, func() {
+				sh.mu.Unlock(t)
+				finish(resume)
+			})
+		})
+	})
+}
+
+// NewServer instantiates a server benchmark on kern. Stats gives access
+// to throughput and latency percentiles after the run.
+func NewServer(kern *guest.Kernel, spec ServerSpec, seed uint64) (*Instance, *ServerStats) {
+	if spec.Threads <= 0 {
+		spec.Threads = len(kern.CPUs())
+	}
+	stats := &ServerStats{Latency: &metrics.Reservoir{}}
+	if spec.Arrival > 0 {
+		return newOpenServer(kern, spec, seed, stats), stats
+	}
+	in := &Instance{Name: spec.Name, kern: kern}
+	in.spawn = func() {
+		sh := &serverShared{
+			spec:      spec,
+			stats:     stats,
+			mu:        guestsync.NewMutex(kern),
+			rng:       sim.NewRNG(seed ^ 0x5e2e2),
+			startedAt: kern.Now(),
+			until:     kern.Now() + spec.Duration,
+		}
+		for i := 0; i < spec.Threads; i++ {
+			w := &serverWorker{sh: sh, rng: sh.rng.Fork(uint64(i))}
+			kern.Spawn(fmt.Sprintf("%s-%d", spec.Name, i), w, i%len(kern.CPUs()))
+		}
+	}
+	return in, stats
+}
+
+type hogProg struct{}
+
+func (hogProg) Step(t *guest.Task) guest.Action {
+	return guest.Run(10 * sim.Millisecond)
+}
+
+// NewHog instantiates an interference VM workload: n CPU hogs placed on
+// the first n guest CPUs. Hogs never finish.
+func NewHog(kern *guest.Kernel, n int) *Instance {
+	in := &Instance{Name: "cpu-hog", kern: kern, Endless: true}
+	in.spawn = func() {
+		for i := 0; i < n; i++ {
+			kern.Spawn(fmt.Sprintf("hog-%d", i), hogProg{}, i%len(kern.CPUs()))
+		}
+	}
+	return in
+}

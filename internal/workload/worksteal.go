@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/guestsync"
+	"repro/internal/sim"
+)
+
+// WorkStealSpec models raytrace-style user-level load balancing: a
+// shared pool of work chunks that threads grab through a tiny critical
+// section. A slowed thread simply takes fewer chunks, so interference
+// is absorbed — the resilience shown in Figures 1(a) and 2.
+type WorkStealSpec struct {
+	Name    string
+	Threads int // 0 = one per vCPU
+	Chunks  int
+	// ChunkWork is the mean compute per chunk.
+	ChunkWork sim.Time
+	Imbalance float64
+	// GrabCS is the critical-section length of taking a chunk.
+	GrabCS sim.Time
+}
+
+// TotalWork returns the nominal aggregate compute of one run.
+func (s WorkStealSpec) TotalWork() sim.Time {
+	return sim.Time(s.Chunks) * s.ChunkWork
+}
+
+type stealShared struct {
+	spec WorkStealSpec
+	pool int
+	lk   *guestsync.SpinLock
+	rng  *sim.RNG
+}
+
+type stealWorker struct {
+	sh   *stealShared
+	done bool
+	rng  *sim.RNG
+}
+
+// Step implements guest.Program: grab a chunk (short spinlock CS),
+// compute it, repeat until the pool drains.
+func (w *stealWorker) Step(t *guest.Task) guest.Action {
+	if w.done {
+		return guest.Exit()
+	}
+	sh := w.sh
+	return guest.RunThen(0, func(t *guest.Task, resume func()) {
+		sh.lk.Lock(t, func() {
+			got := sh.pool > 0
+			if got {
+				sh.pool--
+			}
+			t.Kernel().RunInTask(t, sh.spec.GrabCS, func() {
+				sh.lk.Unlock(t)
+				if !got {
+					w.done = true
+					resume()
+					return
+				}
+				work := w.rng.Jitter(sh.spec.ChunkWork, sh.spec.Imbalance)
+				t.Kernel().RunInTask(t, work, resume)
+			})
+		})
+	})
+}
+
+// NewWorkSteal instantiates a work-stealing benchmark on kern.
+func NewWorkSteal(kern *guest.Kernel, spec WorkStealSpec, seed uint64) *Instance {
+	threads := spec.Threads
+	if threads <= 0 {
+		threads = len(kern.CPUs())
+	}
+	in := &Instance{Name: spec.Name, kern: kern}
+	in.spawn = func() {
+		sh := &stealShared{
+			spec: spec,
+			pool: spec.Chunks,
+			lk:   guestsync.NewSpinLock(kern),
+			rng:  sim.NewRNG(seed ^ 0x57ea1),
+		}
+		for i := 0; i < threads; i++ {
+			w := &stealWorker{sh: sh, rng: sh.rng.Fork(uint64(i))}
+			kern.Spawn(fmt.Sprintf("%s-%d", spec.Name, i), w, i%len(kern.CPUs()))
+		}
+	}
+	return in
+}
