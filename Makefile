@@ -1,0 +1,29 @@
+# Development entry points. `make check` is the full verification
+# recipe: build everything, vet, and run the test suite under the race
+# detector.
+
+GO ?= go
+
+.PHONY: check build vet test race bench report
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the paper's evaluation via the benchmark harness.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Telemetry smoke run: summary + all three exports for vanilla vs IRS.
+report:
+	$(GO) run ./cmd/irsreport -bench streamcluster -strategy vanilla,irs -inter 1

@@ -141,3 +141,8 @@ func BenchmarkAblationSpinBlock(b *testing.B) { runFigure(b, "ab-spinblock") }
 // BenchmarkAblationStrictCo contrasts ESX 2.x strict co-scheduling with
 // vanilla and IRS (gang slots vs CPU fragmentation).
 func BenchmarkAblationStrictCo(b *testing.B) { runFigure(b, "ab-strictco") }
+
+// BenchmarkObsCounters regenerates the telemetry-counter table: the
+// registry-measured steal times, preemption-wait percentiles, SA round
+// trips, and LHP/LWP counts behind the §5 end-to-end numbers.
+func BenchmarkObsCounters(b *testing.B) { runFigure(b, "obs") }

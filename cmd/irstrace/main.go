@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -36,7 +35,7 @@ func run(args []string) int {
 	inter := fs.Int("inter", 1, "number of interfering CPU hogs")
 	at := fs.Duration("at", time.Second, "start of the dump window (virtual time)")
 	window := fs.Duration("window", 100*time.Millisecond, "length of the dump window")
-	kindsArg := fs.String("kinds", "", "comma-separated filter: vcpu,switch,sa,task,migrate")
+	kindsArg := fs.String("kinds", "", "comma-separated filter: vcpu,switch,sa,task,migrate,note")
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +59,11 @@ func run(args []string) int {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "irstrace: unknown benchmark %q\n", *benchName)
 		return 1
+	}
+	allowed, err := trace.ParseKinds(*kindsArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irstrace: %v\n", err)
+		return 2
 	}
 
 	log := trace.NewLog(500000)
@@ -90,7 +94,6 @@ func run(args []string) int {
 	from := sim.Duration(*at)
 	to := from + sim.Duration(*window)
 	events := log.Events()
-	allowed := parseKinds(*kindsArg)
 	shown := 0
 	for _, e := range events {
 		if e.At < from || e.At > to {
@@ -106,26 +109,4 @@ func run(args []string) int {
 	fmt.Printf("runtime=%v SA sent/acked/expired=%d/%d/%d\n",
 		res.VM("fg").Runtime, res.SASent, res.SAAcked, res.SAExpired)
 	return 0
-}
-
-func parseKinds(arg string) map[trace.Kind]bool {
-	if arg == "" {
-		return nil
-	}
-	m := map[trace.Kind]bool{}
-	for _, part := range strings.Split(arg, ",") {
-		switch strings.TrimSpace(part) {
-		case "vcpu":
-			m[trace.KindVCPUState] = true
-		case "switch":
-			m[trace.KindSwitch] = true
-		case "sa":
-			m[trace.KindSA] = true
-		case "task":
-			m[trace.KindTask] = true
-		case "migrate":
-			m[trace.KindMigrate] = true
-		}
-	}
-	return m
 }

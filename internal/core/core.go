@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -80,6 +81,16 @@ type Scenario struct {
 	// TuneHV and TuneGuest optionally adjust the default configs.
 	TuneHV    func(*hypervisor.Config)
 	TuneGuest func(name string, c *guest.Config)
+
+	// Metrics, when non-nil, is attached to the hypervisor and every
+	// guest kernel so the run produces structured telemetry (see
+	// internal/obs). Nil (the default) disables collection; the Tune
+	// hooks can still attach per-layer registries by hand.
+	Metrics *obs.Registry
+	// SampleInterval, when positive and Metrics is set, starts a
+	// periodic sampler that snapshots every metric into time series at
+	// that virtual-time cadence (exposed as Cluster.Sampler).
+	SampleInterval sim.Time
 }
 
 // VMResult holds per-VM measurements.
@@ -139,6 +150,9 @@ type Cluster struct {
 	HV        *hypervisor.Hypervisor
 	Kernels   []*guest.Kernel
 	Instances []*workload.Instance
+	// Sampler is the periodic metrics sampler, non-nil when the
+	// scenario set both Metrics and SampleInterval.
+	Sampler *obs.Sampler
 
 	finite     int
 	doneFinite int
@@ -164,12 +178,17 @@ func Build(scn Scenario) (*Cluster, error) {
 	hc.Strategy = scn.Strategy
 	hc.LoadBalance = scn.Unpinned
 	hc.Seed = scn.Seed
+	hc.Metrics = scn.Metrics
 	if scn.TuneHV != nil {
 		scn.TuneHV(&hc)
 	}
 	hv := hypervisor.New(eng, hc)
 
 	c := &Cluster{Scenario: scn, Engine: eng, HV: hv}
+	if scn.Metrics != nil && scn.SampleInterval > 0 {
+		c.Sampler = obs.NewSampler(scn.Metrics, scn.SampleInterval)
+		c.Sampler.Start(eng)
+	}
 	for vi, spec := range scn.VMs {
 		weight := spec.Weight
 		if weight == 0 {
@@ -189,6 +208,7 @@ func Build(scn Scenario) (*Cluster, error) {
 		}
 		gc := guest.DefaultConfig()
 		gc.IRS = spec.IRS
+		gc.Metrics = scn.Metrics
 		gc.Seed = scn.Seed ^ uint64(vi+1)*0x9e37
 		if scn.TuneGuest != nil {
 			scn.TuneGuest(spec.Name, &gc)

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// ObsCounters reports the simulator-measured scheduling-pathology
+// counters behind the end-to-end numbers of §5: instead of inferring
+// behaviour from runtimes alone, each strategy's row cites what the
+// hypervisor and guest actually observed — steal time, the
+// preemption-wait distribution (vanilla's 30 ms delays), SA round
+// trips, LHP/LWP events, and IRS migrations. The scenario is the §5.1
+// single-benchmark setup: streamcluster on 4 pinned vCPUs against one
+// CPU hog on pCPU 0.
+func ObsCounters(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:    "obs",
+		Title: "Telemetry counters, streamcluster vs 1 hog (registry-measured)",
+		Columns: []string{"strategy", "runtime", "steal fg", "preempt p95",
+			"preempts", "SA ack p95", "SA sent/ack/exp", "LHP", "LWP", "guest migr"},
+	}
+	bench, ok := workload.ByName("streamcluster")
+	if !ok {
+		return t
+	}
+	for _, strat := range append(core.Strategies(), core.StrategyStrictCo) {
+		reg := obs.NewRegistry()
+		fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
+		fg.IRS = strat == core.StrategyIRS
+		scn := core.Scenario{
+			PCPUs:    4,
+			Strategy: strat,
+			Seed:     opt.Seed,
+			VMs:      []core.VMSpec{fg, core.HogVM("bg", 1, core.SeqPins(0, 1))},
+			Metrics:  reg,
+		}
+		res, err := core.Run(scn)
+		if err != nil {
+			opt.Logf("obs: %s failed: %v", strat, err)
+			continue
+		}
+		fgL := obs.Labels{Sub: "hv", VM: "fg"}
+		wait := reg.FindHistogram("hv_preempt_wait_ns", fgL)
+		ack := reg.FindHistogram("hv_sa_ack_ns", fgL)
+		preempts := int64(0)
+		for _, v := range res.VM("fg").Kernel.VM().VCPUs {
+			preempts += obs.CounterValue(reg, "hv_preemptions_total",
+				obs.Labels{Sub: "hv", VM: "fg", CPU: v.Name()})
+		}
+		t.Rows = append(t.Rows, []string{
+			strat.String(),
+			fmt.Sprintf("%.3fs", res.VM("fg").Runtime.Seconds()),
+			fmt.Sprintf("%.3fs", res.VM("fg").StealTime.Seconds()),
+			fmt.Sprintf("%.1fms", wait.Percentile(95).Milliseconds()),
+			fmt.Sprintf("%d", preempts),
+			fmt.Sprintf("%.1fµs", ack.Percentile(95).Microseconds()),
+			fmt.Sprintf("%d/%d/%d",
+				obs.CounterValue(reg, "hv_sa_sent_total", fgL),
+				obs.CounterValue(reg, "hv_sa_acked_total", fgL),
+				obs.CounterValue(reg, "hv_sa_expired_total", fgL)),
+			fmt.Sprintf("%d", obs.CounterValue(reg, "hv_lhp_total", fgL)),
+			fmt.Sprintf("%d", obs.CounterValue(reg, "hv_lwp_total", fgL)),
+			fmt.Sprintf("%d", obs.CounterValue(reg, "guest_task_migrations_total",
+				obs.Labels{Sub: "guest", VM: "fg"})),
+		})
+	}
+	return t
+}

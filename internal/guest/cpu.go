@@ -2,6 +2,7 @@ package guest
 
 import (
 	"repro/internal/hypervisor"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -51,6 +52,8 @@ type CPU struct {
 	idleSince sim.Time
 	TicksRun  int64
 	Switches  int64
+
+	mRTAvg *obs.Gauge // nil without a registry
 }
 
 var _ hypervisor.GuestContext = (*CPU)(nil)
@@ -525,4 +528,5 @@ func (c *CPU) updateRTAvg(now sim.Time) {
 	sample := load + stealFrac
 	const alpha = 0.25
 	c.rtAvg = (1-alpha)*c.rtAvg + alpha*sample
+	c.mRTAvg.Set(c.rtAvg)
 }

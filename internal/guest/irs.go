@@ -55,14 +55,21 @@ func (c *CPU) finishSAUpcall() {
 // not charge it a full scheduling slot).
 type migrator struct {
 	kern    *Kernel
-	queue   []*Task
+	queue   []migrItem
 	waiting bool
 	busy    bool
 }
 
+// migrItem is one queued migration with its submission time, so the
+// migrator's queueing + processing latency is measurable.
+type migrItem struct {
+	t  *Task
+	at sim.Time
+}
+
 // submit hands a descheduled task to the migrator and tries to run it.
 func (m *migrator) submit(t *Task) {
-	m.queue = append(m.queue, t)
+	m.queue = append(m.queue, migrItem{t: t, at: m.kern.Now()})
 	m.kick()
 }
 
@@ -107,9 +114,9 @@ func (m *migrator) drainSync() {
 // drain processes all queued migrations.
 func (m *migrator) drain() {
 	for len(m.queue) > 0 {
-		t := m.queue[0]
+		item := m.queue[0]
 		m.queue = m.queue[1:]
-		m.migrate(t)
+		m.migrate(item.t, item.at)
 	}
 	m.kick()
 }
@@ -118,11 +125,12 @@ func (m *migrator) drain() {
 // an idle one if possible, otherwise the running vCPU with the lowest
 // rt_avg — and move the task there. Preempted (runnable) vCPUs and the
 // source vCPU are skipped. With no target the task returns home.
-func (m *migrator) migrate(t *Task) {
+func (m *migrator) migrate(t *Task, submitted sim.Time) {
 	if t.state != TaskMigrating || t.exited {
 		return
 	}
 	k := m.kern
+	k.mMigrLatency.Observe(k.Now() - submitted)
 	src := t.homeCPU
 	var idle, leastLoaded *CPU
 	for _, c := range k.cpus {
@@ -164,6 +172,7 @@ func (m *migrator) migrate(t *Task) {
 	// displacement, so re-tag with the original home.
 	t.MarkDisplaced(src)
 	k.IRSMigrations++
+	k.mIRSMigr.Inc()
 	k.checkMigratePreempt(target, t)
 	k.kickCPU(target)
 }

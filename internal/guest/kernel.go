@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/hypervisor"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -36,6 +37,12 @@ type Config struct {
 
 	// Trace, when non-nil, records task scheduling events.
 	Trace *trace.Log
+
+	// Metrics, when non-nil, receives guest-kernel telemetry: task
+	// migration counts by cause, balance decisions, spin-wait entries,
+	// migrator latency, and per-CPU rt_avg gauges. Nil disables
+	// collection.
+	Metrics *obs.Registry
 
 	// SpinBeforeBlock is the adaptive-spin budget blocking primitives
 	// burn before sleeping (futex/adaptive-mutex pre-sleep spinning).
@@ -102,6 +109,16 @@ type Kernel struct {
 	IRSMigrations   int64
 	IRSPullSteals   int64
 	idleBalanceRuns int64
+
+	// Metric handles (nil, hence no-op, without a registry).
+	mTaskMigr    *obs.Counter
+	mWakeMigr    *obs.Counter
+	mPullMigr    *obs.Counter
+	mIRSMigr     *obs.Counter
+	mIRSPull     *obs.Counter
+	mIdleBalance *obs.Counter
+	mSpinWaits   *obs.Counter
+	mMigrLatency *obs.Histogram
 }
 
 // NewKernel boots a guest kernel onto vm, creating one guest CPU per
@@ -115,8 +132,19 @@ func NewKernel(hv *hypervisor.Hypervisor, vm *hypervisor.VM, cfg Config) *Kernel
 		cfg: cfg,
 		rng: sim.NewRNG(cfg.Seed ^ uint64(vm.ID)<<32 ^ 0x6e51),
 	}
+	reg := cfg.Metrics
+	vmL := obs.Labels{Sub: "guest", VM: vm.Name}
+	k.mTaskMigr = reg.Counter("guest_task_migrations_total", vmL)
+	k.mWakeMigr = reg.Counter("guest_wake_migrations_total", vmL)
+	k.mPullMigr = reg.Counter("guest_pull_migrations_total", vmL)
+	k.mIRSMigr = reg.Counter("guest_irs_migrations_total", vmL)
+	k.mIRSPull = reg.Counter("guest_irs_pull_steals_total", vmL)
+	k.mIdleBalance = reg.Counter("guest_idle_balance_total", vmL)
+	k.mSpinWaits = reg.Counter("guest_spin_waits_total", vmL)
+	k.mMigrLatency = reg.Histogram("guest_migrator_latency_ns", vmL)
 	for i, v := range vm.VCPUs {
 		c := &CPU{kern: k, id: i, vcpu: v}
+		c.mRTAvg = reg.Gauge("guest_rt_avg", obs.Labels{Sub: "guest", VM: vm.Name, CPU: fmt.Sprintf("cpu%d", i)})
 		k.cpus = append(k.cpus, c)
 		hv.RegisterGuest(v, c)
 	}
@@ -292,6 +320,7 @@ func (k *Kernel) WakeTask(t *Task, cont func()) {
 	target := k.selectCPUForWake(t)
 	if target != t.cpu {
 		k.WakeMigrations++
+		k.mWakeMigr.Inc()
 		t.Migrations++
 	}
 	t.cpu = target

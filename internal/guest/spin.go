@@ -27,6 +27,7 @@ func (k *Kernel) SpinTaskBounded(t *Task, budget sim.Time, poll func() bool, res
 	}
 	t.spin = &spinWait{poll: poll, resume: resume, budget: budget, onTimeout: onTimeout}
 	t.WaitingLock = true
+	k.mSpinWaits.Inc()
 	if c.running && !c.executing {
 		c.startCur()
 	}

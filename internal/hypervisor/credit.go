@@ -109,6 +109,7 @@ func (h *Hypervisor) account() {
 					continue
 				}
 				v.credits += share
+				vm.mCredits.Add(int64(share))
 				if v.credits > creditCap {
 					v.credits = creditCap
 				}
@@ -174,9 +175,15 @@ func (h *Hypervisor) startRunning(p *PCPU, v *VCPU) {
 	if p.current != nil {
 		panic("hypervisor: startRunning on busy pCPU " + p.Name())
 	}
+	if v.state == StateRunnable {
+		// Wait between losing (or first wanting) the pCPU and running
+		// again: the paper's preemption/scheduling delay (§2.2).
+		v.VM.mPreemptWait.Observe(now - v.stateSince)
+	}
 	p.idleTotal += now - p.idleSince
 	p.current = v
 	p.switches++
+	p.mSwitches.Inc()
 	v.pcpu = p
 	v.accActive = true
 	v.setState(StateRunning)
@@ -257,6 +264,7 @@ func (h *Hypervisor) startSA(p *PCPU, v *VCPU) {
 	v.saSentAt = now
 	p.saWait = true
 	h.saSent++
+	v.VM.mSASent.Inc()
 	v.saDeadline = h.eng.After(h.cfg.SALimit, "xen-sa-limit-"+v.Name(), func() {
 		h.saExpire(p, v)
 	})
@@ -274,6 +282,7 @@ func (h *Hypervisor) saExpire(p *PCPU, v *VCPU) {
 		return
 	}
 	h.saExpired++
+	v.VM.mSAExpired.Inc()
 	if tl := h.cfg.Trace; tl != nil {
 		tl.Record(h.eng.Now(), trace.KindSA, v.Name(), "expired")
 	}
@@ -293,6 +302,8 @@ func (h *Hypervisor) completeSA(v *VCPU, disposition RunState) {
 	if delay > h.saDelayMax {
 		h.saDelayMax = delay
 	}
+	v.VM.mSAAcked.Inc()
+	v.VM.mSAAck.Observe(delay)
 	h.eng.Cancel(v.saDeadline)
 	v.saDeadline = nil
 	v.saPending = false
@@ -314,11 +325,14 @@ func (h *Hypervisor) deschedule(p *PCPU, disposition RunState, involuntary bool)
 	now := h.eng.Now()
 	if involuntary {
 		v.preemptions++
+		v.mPreempt.Inc()
 		switch v.ctx.Descheduling() {
 		case PreemptLockHolder:
 			v.VM.LHPCount++
+			v.VM.mLHP.Inc()
 		case PreemptLockWaiter:
 			v.VM.LWPCount++
+			v.VM.mLWP.Inc()
 		}
 	}
 	v.ctx.Suspend()
@@ -349,10 +363,12 @@ func (h *Hypervisor) WakeVCPU(v *VCPU) {
 	v.setState(StateRunnable)
 	if v.prio == PrioUnder || v.prio == PrioBoost {
 		v.prio = PrioBoost
+		v.VM.mBoost.Inc()
 	}
 	p := h.placeVCPU(v)
 	if p != v.assigned {
 		h.vcpuMigrations++
+		h.mVCPUMigr.Inc()
 	}
 	v.assigned = p
 	p.enqueue(v)
@@ -393,6 +409,7 @@ func (h *Hypervisor) placeVCPU(v *VCPU) *PCPU {
 // stealWork lets an idle pCPU pull a runnable vCPU from the longest
 // peer runqueue (credit-scheduler work stealing).
 func (h *Hypervisor) stealWork(p *PCPU) *VCPU {
+	h.mStealAttempts.Inc()
 	now := h.eng.Now()
 	var src *PCPU
 	for _, q := range h.pcpus {
@@ -416,6 +433,8 @@ func (h *Hypervisor) stealWork(p *PCPU) *VCPU {
 		src.runq = append(src.runq[:i], src.runq[i+1:]...)
 		cand.assigned = p
 		h.vcpuMigrations++
+		h.mVCPUMigr.Inc()
+		h.mStealMoves.Inc()
 		return cand
 	}
 	return nil
@@ -456,6 +475,7 @@ func (h *Hypervisor) repickVCPU(p *PCPU, v *VCPU) {
 	p.dequeue(v)
 	v.assigned = target
 	h.vcpuMigrations++
+	h.mVCPUMigr.Inc()
 	target.enqueue(v)
 	h.dispatch(p)
 	h.checkPreempt(target)

@@ -3,6 +3,7 @@ package hypervisor
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -89,6 +90,13 @@ type Config struct {
 	// Trace, when non-nil, records scheduling events.
 	Trace *trace.Log
 
+	// Metrics, when non-nil, receives structured runtime telemetry:
+	// per-vCPU runstate durations, preemption counts and wait
+	// histograms, SA round-trip latencies, boost/credit accounting,
+	// context switches, and work-steal activity. Nil (the default)
+	// disables collection entirely.
+	Metrics *obs.Registry
+
 	Seed uint64
 }
 
@@ -130,6 +138,13 @@ type Hypervisor struct {
 	saDelaySum     sim.Time
 	saDelayMax     sim.Time
 	vcpuMigrations int64
+
+	// Metric handles; all nil (and all updates no-ops) when
+	// cfg.Metrics is nil.
+	mStealAttempts *obs.Counter
+	mStealMoves    *obs.Counter
+	mVCPUMigr      *obs.Counter
+	mPLEYields     *obs.Counter
 }
 
 // New creates a hypervisor with cfg.PCPUs physical CPUs and starts its
@@ -143,8 +158,21 @@ func New(eng *sim.Engine, cfg Config) *Hypervisor {
 		cfg: cfg,
 		rng: sim.NewRNG(cfg.Seed ^ 0xda7a5eed),
 	}
+	reg := cfg.Metrics
+	h.mStealAttempts = reg.Counter("hv_steal_attempts_total", obs.Labels{Sub: "hv"})
+	h.mStealMoves = reg.Counter("hv_steal_moves_total", obs.Labels{Sub: "hv"})
+	h.mVCPUMigr = reg.Counter("hv_vcpu_migrations_total", obs.Labels{Sub: "hv"})
+	h.mPLEYields = reg.Counter("hv_ple_yields_total", obs.Labels{Sub: "hv"})
 	for i := 0; i < cfg.PCPUs; i++ {
 		p := &PCPU{ID: i, hv: h}
+		p.mSwitches = reg.Counter("hv_ctx_switches_total", obs.Labels{Sub: "hv", CPU: p.Name()})
+		reg.GaugeFunc("hv_runq_len", obs.Labels{Sub: "hv", CPU: p.Name()}, func() float64 {
+			n := p.QueueLen()
+			if p.current != nil {
+				n++
+			}
+			return float64(n)
+		})
 		h.pcpus = append(h.pcpus, p)
 		// All pCPU ticks share one aligned grid, as in Xen where the
 		// credit scheduler's ticks derive from a common periodic timer.
@@ -185,6 +213,17 @@ func (h *Hypervisor) NewVM(name string, nvcpus, weight int, saCapable bool) *VM 
 		hv:        h,
 		SACapable: saCapable,
 	}
+	reg := h.cfg.Metrics
+	vmL := obs.Labels{Sub: "hv", VM: name}
+	vm.mPreemptWait = reg.Histogram("hv_preempt_wait_ns", vmL)
+	vm.mSAAck = reg.Histogram("hv_sa_ack_ns", vmL)
+	vm.mSASent = reg.Counter("hv_sa_sent_total", vmL)
+	vm.mSAAcked = reg.Counter("hv_sa_acked_total", vmL)
+	vm.mSAExpired = reg.Counter("hv_sa_expired_total", vmL)
+	vm.mLHP = reg.Counter("hv_lhp_total", vmL)
+	vm.mLWP = reg.Counter("hv_lwp_total", vmL)
+	vm.mBoost = reg.Counter("hv_boost_total", vmL)
+	vm.mCredits = reg.Counter("hv_credits_granted_total", vmL)
 	for i := 0; i < nvcpus; i++ {
 		v := &VCPU{
 			ID:       i,
@@ -193,6 +232,13 @@ func (h *Hypervisor) NewVM(name string, nvcpus, weight int, saCapable bool) *VM 
 			state:    StateOffline,
 			prio:     PrioUnder,
 			assigned: h.pcpus[i%len(h.pcpus)],
+		}
+		if reg != nil {
+			vL := obs.Labels{Sub: "hv", VM: name, CPU: v.Name()}
+			for s := StateRunning; s <= StateOffline; s++ {
+				v.mState[s] = reg.Counter("hv_runstate_ns", obs.Labels{Sub: "hv", VM: name, CPU: v.Name(), Kind: s.String()})
+			}
+			v.mPreempt = reg.Counter("hv_preemptions_total", vL)
 		}
 		vm.VCPUs = append(vm.VCPUs, v)
 	}

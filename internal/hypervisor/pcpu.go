@@ -3,6 +3,7 @@ package hypervisor
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -30,7 +31,8 @@ type PCPU struct {
 	// that produces CPU stacking (§5.6).
 	loadSnapshot int
 
-	switches int64
+	switches  int64
+	mSwitches *obs.Counter // nil without a registry
 }
 
 // snapshotLoad refreshes the stale load view.

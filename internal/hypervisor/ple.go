@@ -59,6 +59,7 @@ func (h *Hypervisor) pleExit(v *VCPU) {
 	v.pleEvent = nil
 	v.yieldHint = true
 	h.pleYields++
+	h.mPLEYields.Inc()
 	h.deschedule(p, StateRunnable, false)
 	h.dispatch(p)
 }

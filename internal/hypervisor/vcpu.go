@@ -9,6 +9,7 @@ package hypervisor
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -155,6 +156,10 @@ type VCPU struct {
 
 	preemptions int64
 	wakeups     int64
+
+	// Metric handles (nil, hence no-op, without a registry).
+	mState   [StateOffline + 1]*obs.Counter // cumulative ns per runstate
+	mPreempt *obs.Counter
 }
 
 // Name returns a short identifier such as "vm1/v2".
@@ -177,6 +182,7 @@ func (v *VCPU) Pinned() *PCPU { return v.pinned }
 func (v *VCPU) setState(s RunState) {
 	now := v.hv.eng.Now()
 	v.stateTime[v.state] += now - v.stateSince
+	v.mState[v.state].AddTime(now - v.stateSince)
 	if v.state == StateRunning {
 		v.windowRun += now - v.stateSince
 	} else if v.state == StateBlocked {
@@ -230,6 +236,17 @@ type VM struct {
 	// Counters for lock-holder / lock-waiter preemption events.
 	LHPCount int64
 	LWPCount int64
+
+	// Metric handles (nil, hence no-op, without a registry).
+	mPreemptWait *obs.Histogram
+	mSAAck       *obs.Histogram
+	mSASent      *obs.Counter
+	mSAAcked     *obs.Counter
+	mSAExpired   *obs.Counter
+	mLHP         *obs.Counter
+	mLWP         *obs.Counter
+	mBoost       *obs.Counter
+	mCredits     *obs.Counter
 }
 
 // TotalRunTime sums the execution time of all vCPUs.

@@ -38,15 +38,44 @@ func (r *Reservoir) Mean() sim.Time {
 	return sum / sim.Time(len(r.samples))
 }
 
-// Max returns the largest sample, or 0 with no samples.
+// Max returns the largest sample. With no samples it returns 0; with
+// samples it returns the true maximum even when every sample is
+// negative (the old scan from zero clamped those to 0).
 func (r *Reservoir) Max() sim.Time {
-	var m sim.Time
-	for _, v := range r.samples {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	m := r.samples[0]
+	for _, v := range r.samples[1:] {
 		if v > m {
 			m = v
 		}
 	}
 	return m
+}
+
+// Sum returns the total of all samples.
+func (r *Reservoir) Sum() sim.Time {
+	var sum sim.Time
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum
+}
+
+// Stddev returns the sample standard deviation (Bessel-corrected), or 0
+// with fewer than two samples.
+func (r *Reservoir) Stddev() sim.Time {
+	if len(r.samples) < 2 {
+		return 0
+	}
+	mean := float64(r.Mean())
+	var ss float64
+	for _, v := range r.samples {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return sim.Time(math.Sqrt(ss / float64(len(r.samples)-1)))
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) by
@@ -67,6 +96,16 @@ func (r *Reservoir) Percentile(p float64) sim.Time {
 		rank = len(r.samples)
 	}
 	return r.samples[rank-1]
+}
+
+// Quantiles returns the Percentile of each p in ps, sorting the
+// reservoir at most once. With no samples every entry is 0.
+func (r *Reservoir) Quantiles(ps ...float64) []sim.Time {
+	out := make([]sim.Time, len(ps))
+	for i, p := range ps {
+		out[i] = r.Percentile(p)
+	}
+	return out
 }
 
 // Stats summarises a slice of float64 observations.

@@ -81,6 +81,70 @@ func TestQuickPercentileWithinRange(t *testing.T) {
 	}
 }
 
+func TestMaxAllNegative(t *testing.T) {
+	var r Reservoir
+	for _, v := range []sim.Time{-30, -10, -20} {
+		r.Add(v)
+	}
+	// A scan seeded from 0 would clamp this to 0; the true max is -10.
+	if got := r.Max(); got != -10 {
+		t.Fatalf("max = %v, want -10", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	var r Reservoir
+	if r.Sum() != 0 {
+		t.Fatal("empty sum should be 0")
+	}
+	for _, v := range []sim.Time{5, -2, 7} {
+		r.Add(v)
+	}
+	if got := r.Sum(); got != 10 {
+		t.Fatalf("sum = %v, want 10", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var r Reservoir
+	if r.Stddev() != 0 {
+		t.Fatal("empty stddev should be 0")
+	}
+	r.Add(5)
+	if r.Stddev() != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+	var r2 Reservoir
+	for _, v := range []sim.Time{2, 4, 6} {
+		r2.Add(v)
+	}
+	// Sample (Bessel-corrected) stddev of {2,4,6} is 2.
+	if got := r2.Stddev(); got != 2 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var r Reservoir
+	if qs := r.Quantiles(50, 99); len(qs) != 2 || qs[0] != 0 || qs[1] != 0 {
+		t.Fatalf("empty quantiles = %v", qs)
+	}
+	for i := 1; i <= 100; i++ {
+		r.Add(sim.Time(i))
+	}
+	qs := r.Quantiles(50, 95, 99, 100)
+	want := []sim.Time{50, 95, 99, 100}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Errorf("quantile[%d] = %v, want %v", i, qs[i], want[i])
+		}
+	}
+	// Quantiles must agree with individual Percentile calls.
+	if qs[1] != r.Percentile(95) {
+		t.Fatal("Quantiles diverges from Percentile")
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{2, 4, 6})
 	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 {

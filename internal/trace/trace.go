@@ -50,6 +50,48 @@ func (k Kind) String() string {
 	}
 }
 
+// kindNames maps the user-facing names accepted by ParseKinds.
+var kindNames = map[string]Kind{
+	"vcpu":    KindVCPUState,
+	"switch":  KindSwitch,
+	"sa":      KindSA,
+	"task":    KindTask,
+	"migrate": KindMigrate,
+	"note":    KindNote,
+}
+
+// KindNames returns the valid kind names in display order.
+func KindNames() []string {
+	return []string{"vcpu", "switch", "sa", "task", "migrate", "note"}
+}
+
+// ParseKinds parses a comma-separated kind filter such as "sa,migrate".
+// An empty string means no filter and returns nil. Unknown names are an
+// error (naming the offender and the valid set) instead of silently
+// matching nothing.
+func ParseKinds(arg string) (map[Kind]bool, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, nil
+	}
+	m := map[Kind]bool{}
+	for _, part := range strings.Split(arg, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		k, ok := kindNames[name]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q (valid: %s)",
+				name, strings.Join(KindNames(), ", "))
+		}
+		m[k] = true
+	}
+	if len(m) == 0 {
+		return nil, nil
+	}
+	return m, nil
+}
+
 // Event is one recorded occurrence.
 type Event struct {
 	At      sim.Time
@@ -90,8 +132,14 @@ func (l *Log) Recordf(at sim.Time, kind Kind, subject, format string, args ...an
 	l.Record(at, kind, subject, fmt.Sprintf(format, args...))
 }
 
-// Events returns the retained events in order.
-func (l *Log) Events() []Event { return l.events }
+// Events returns a copy of the retained events in order. Copying keeps
+// callers insulated from later recording: the ring may evict or append
+// underneath a slice handed out earlier.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
 
 // Dropped reports how many events were evicted.
 func (l *Log) Dropped() uint64 { return l.dropped }

@@ -81,6 +81,120 @@ func TestSummary(t *testing.T) {
 	}
 }
 
+func TestEventsReturnsCopy(t *testing.T) {
+	l := NewLog(2)
+	l.Record(1, KindNote, "a", "")
+	l.Record(2, KindNote, "b", "")
+	evs := l.Events()
+	// Recording past the limit evicts underneath; the earlier slice must
+	// be insulated from that.
+	l.Record(3, KindNote, "c", "")
+	if evs[0].At != 1 || evs[1].At != 2 {
+		t.Fatalf("snapshot mutated by later Record: %+v", evs)
+	}
+	evs[0].Subject = "mutated"
+	if l.Events()[0].Subject == "mutated" {
+		t.Fatal("caller writes must not reach the log's ring")
+	}
+}
+
+func TestDroppedAccumulatesAcrossEvictions(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(sim.Time(i), KindNote, "s", "")
+	}
+	if l.Dropped() != 3 {
+		t.Fatalf("dropped = %d after first overflow burst, want 3", l.Dropped())
+	}
+	for i := 5; i < 9; i++ {
+		l.Record(sim.Time(i), KindNote, "s", "")
+	}
+	// Eviction count must accumulate across separate bursts, not reset.
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", l.Dropped())
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", l.Len())
+	}
+	if got := l.Events()[0].At; got != 7 {
+		t.Fatalf("oldest retained = %v, want 7", got)
+	}
+}
+
+func TestDumpWindowUnbounded(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 4; i++ {
+		l.Record(sim.Time(i)*sim.Millisecond, KindNote, "s", "x")
+	}
+	// to == 0 means no upper bound: everything from 2 ms on.
+	var b strings.Builder
+	if err := l.Dump(&b, 2*sim.Millisecond, 0); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != 2 {
+		t.Fatalf("dumped %d lines, want 2 (t=2,3ms)", lines)
+	}
+}
+
+func TestDumpReportsDropped(t *testing.T) {
+	l := NewLog(1)
+	l.Record(1, KindNote, "s", "")
+	l.Record(2, KindNote, "s", "")
+	var b strings.Builder
+	if err := l.Dump(&b, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1 earlier events dropped") {
+		t.Fatalf("dump = %q", b.String())
+	}
+}
+
+func TestSummaryOrdering(t *testing.T) {
+	l := NewLog(0)
+	// Record in reverse declaration order; Summary must render in fixed
+	// kind order (vcpu, switch, sa, ...) regardless.
+	l.Record(1, KindMigrate, "t", "")
+	l.Record(2, KindSA, "v", "")
+	l.Record(3, KindSA, "v", "")
+	l.Record(4, KindVCPUState, "v", "")
+	if got := l.Summary(); got != "vcpu=1 sa=2 migrate=1" {
+		t.Fatalf("summary = %q", got)
+	}
+	empty := NewLog(0)
+	if got := empty.Summary(); got != "" {
+		t.Fatalf("empty summary = %q", got)
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	if m, err := ParseKinds(""); m != nil || err != nil {
+		t.Fatalf("empty filter = %v, %v", m, err)
+	}
+	m, err := ParseKinds(" sa, migrate ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || !m[KindSA] || !m[KindMigrate] {
+		t.Fatalf("parsed = %v", m)
+	}
+	if _, err := ParseKinds("sa,bogus"); err == nil ||
+		!strings.Contains(err.Error(), `"bogus"`) ||
+		!strings.Contains(err.Error(), "vcpu") {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+	// Every advertised name must parse, and KindNames must cover every
+	// declared kind.
+	names := KindNames()
+	if len(names) != int(KindNote) {
+		t.Fatalf("KindNames lists %d kinds, want %d", len(names), int(KindNote))
+	}
+	for _, n := range names {
+		if _, err := ParseKinds(n); err != nil {
+			t.Errorf("valid kind %q rejected: %v", n, err)
+		}
+	}
+}
+
 func TestEventString(t *testing.T) {
 	e := Event{At: 5 * sim.Millisecond, Kind: KindSA, Subject: "fg/v0", Detail: "sent"}
 	s := e.String()
