@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench report
+.PHONY: check build vet test race bench report fuzz-smoke chaos
 
 check: build vet race
 
@@ -27,3 +27,13 @@ bench:
 # Telemetry smoke run: summary + all three exports for vanilla vs IRS.
 report:
 	$(GO) run ./cmd/irsreport -bench streamcluster -strategy vanilla,irs -inter 1
+
+# Short fuzz pass over the committed seed corpora plus a few seconds of
+# fresh exploration per target.
+fuzz-smoke:
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEventHeapOrdering -fuzztime 5s
+	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzParsePlan -fuzztime 5s
+
+# Robustness sweep: fault rates vs strategies with invariant audits.
+chaos:
+	$(GO) run ./cmd/irsim -runs 1 chaos

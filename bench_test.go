@@ -146,3 +146,7 @@ func BenchmarkAblationStrictCo(b *testing.B) { runFigure(b, "ab-strictco") }
 // registry-measured steal times, preemption-wait percentiles, SA round
 // trips, and LHP/LWP counts behind the §5 end-to-end numbers.
 func BenchmarkObsCounters(b *testing.B) { runFigure(b, "obs") }
+
+// BenchmarkChaos regenerates the robustness sweep: vIRQ/hypercall
+// fault rates vs every strategy, with per-run invariant audits.
+func BenchmarkChaos(b *testing.B) { runFigure(b, "chaos") }

@@ -14,9 +14,15 @@
 //	irsreport [-bench streamcluster] [-strategy vanilla,irs] [-inter 1]
 //	          [-seed 1] [-sample 10ms] [-prom out.prom] [-csv out.csv]
 //	          [-tracejson out.json] [-at 1s] [-window 100ms]
+//	          [-faults drop-sa=0.1,dup-sa=0.05] [-fault-seed 0]
+//
+// With -faults, the spec (see fault.ParsePlan) is injected into every
+// run, the runtime invariant checker is attached, and the summary
+// gains injected-fault and violation counts.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
 	"repro/internal/obs"
@@ -51,7 +58,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceJSON := fs.String("tracejson", "", "write Chrome trace JSON to this file (- for stdout)")
 	at := fs.Duration("at", time.Second, "start of the Chrome trace window (virtual time)")
 	window := fs.Duration("window", 100*time.Millisecond, "length of the Chrome trace window")
+	faultSpec := fs.String("faults", "", "fault plan, e.g. drop-sa=0.1,dup-sa=0.05 (see fault.ParsePlan; \"none\" disables)")
+	faultSeed := fs.Uint64("fault-seed", 0, "fault injector seed (0 derives from -seed)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	plan, err := fault.ParsePlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "irsreport: -faults: %v\n", err)
 		return 2
 	}
 
@@ -77,7 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, strat := range strategies {
 		if err := report(stdout, stderr, bench, *benchName, strat, *inter, *seed,
 			sim.Duration(*sample), *promPath, *csvPath, *traceJSON,
-			sim.Duration(*at), sim.Duration(*window), len(strategies) > 1); err != nil {
+			sim.Duration(*at), sim.Duration(*window), len(strategies) > 1,
+			plan, *faultSeed); err != nil {
 			fmt.Fprintf(stderr, "irsreport: %v\n", err)
 			return 1
 		}
@@ -105,7 +121,8 @@ func strategyByName(name string) (core.Strategy, bool) {
 // summary and exports.
 func report(stdout, stderr io.Writer, bench workload.Benchmark, benchName string,
 	strat core.Strategy, inter int, seed uint64, sample sim.Time,
-	promPath, csvPath, traceJSON string, at, window sim.Time, multi bool) error {
+	promPath, csvPath, traceJSON string, at, window sim.Time, multi bool,
+	plan fault.Plan, faultSeed uint64) error {
 
 	reg := obs.NewRegistry()
 	log := trace.NewLog(500000)
@@ -122,6 +139,9 @@ func report(stdout, stderr io.Writer, bench workload.Benchmark, benchName string
 		VMs:            vms,
 		Metrics:        reg,
 		SampleInterval: sample,
+		Faults:         plan,
+		FaultSeed:      faultSeed,
+		Invariants:     !plan.Zero(),
 		TuneHV:         func(c *hypervisor.Config) { c.Trace = log },
 		TuneGuest: func(name string, c *guest.Config) {
 			if name == "fg" {
@@ -134,13 +154,17 @@ func report(stdout, stderr io.Writer, bench workload.Benchmark, benchName string
 		return err
 	}
 	res, err := cluster.Run()
-	if err != nil {
+	if errors.Is(err, core.ErrUnfinished) {
+		// Under fault injection a run may stall; the partial telemetry
+		// is exactly what the report is for.
+		fmt.Fprintf(stderr, "irsreport: %s: %v (reporting partial run)\n", strat, err)
+	} else if err != nil {
 		return err
 	}
 	// One final snapshot so the series include the end-of-run state.
 	cluster.Sampler.Sample()
 
-	writeSummary(stdout, reg, cluster.Sampler, res, benchName, strat, inter, seed)
+	writeSummary(stdout, reg, cluster.Sampler, res, benchName, strat, inter, seed, plan)
 
 	for _, exp := range []struct {
 		path  string
@@ -190,7 +214,7 @@ func insertSuffix(path, suffix string) string {
 
 // writeSummary renders the human-readable telemetry digest.
 func writeSummary(w io.Writer, reg *obs.Registry, smp *obs.Sampler, res *core.Result,
-	benchName string, strat core.Strategy, inter int, seed uint64) {
+	benchName string, strat core.Strategy, inter int, seed uint64, plan fault.Plan) {
 
 	fmt.Fprintf(w, "== irsreport: bench=%s inter=%d strategy=%s seed=%d ==\n",
 		benchName, inter, strat, seed)
@@ -213,10 +237,15 @@ func writeSummary(w io.Writer, reg *obs.Registry, smp *obs.Sampler, res *core.Re
 		obs.HistogramLine(reg.FindHistogram("hv_preempt_wait_ns", fgL)))
 	fmt.Fprintf(w, "SA ack latency     %s\n",
 		obs.HistogramLine(reg.FindHistogram("hv_sa_ack_ns", fgL)))
-	fmt.Fprintf(w, "SA sent/ack/exp    %d/%d/%d\n",
+	fmt.Fprintf(w, "SA sent/ack/exp    %d/%d/%d (pending %d, fallbacks %d)\n",
 		obs.CounterValue(reg, "hv_sa_sent_total", fgL),
 		obs.CounterValue(reg, "hv_sa_acked_total", fgL),
-		obs.CounterValue(reg, "hv_sa_expired_total", fgL))
+		obs.CounterValue(reg, "hv_sa_expired_total", fgL),
+		res.SAPending, res.SAFallbacks)
+	if !plan.Zero() {
+		fmt.Fprintf(w, "faults injected    %d (plan %s)\n", res.FaultsInjected, plan)
+		fmt.Fprintf(w, "invariants         %d violations\n", res.Violations)
+	}
 	fmt.Fprintf(w, "LHP/LWP (fg)       %d/%d\n",
 		obs.CounterValue(reg, "hv_lhp_total", fgL),
 		obs.CounterValue(reg, "hv_lwp_total", fgL))

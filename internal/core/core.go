@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -91,6 +93,21 @@ type Scenario struct {
 	// periodic sampler that snapshots every metric into time series at
 	// that virtual-time cadence (exposed as Cluster.Sampler).
 	SampleInterval sim.Time
+
+	// Faults, when non-zero, injects the described fault plan (dropped
+	// and duplicated vIRQs, hypercall loss, stale runstates, blackouts;
+	// see internal/fault) into the hypervisor and every guest kernel.
+	// FaultSeed seeds the injector's independent RNG streams; 0 derives
+	// it from Seed so runs stay reproducible by default.
+	Faults    fault.Plan
+	FaultSeed uint64
+	// Invariants attaches a runtime invariant checker that audits the
+	// hypervisor and every guest kernel at AuditInterval (default 1 ms
+	// of virtual time) and bridges engine scheduling violations. The
+	// checker is exposed as Cluster.Checker; its violation count as
+	// Result.Violations.
+	Invariants    bool
+	AuditInterval sim.Time
 }
 
 // VMResult holds per-VM measurements.
@@ -112,11 +129,20 @@ type VMResult struct {
 type Result struct {
 	Elapsed sim.Time // when the last finite workload completed
 	VMs     []VMResult
-	// SA statistics from the hypervisor (IRS runs).
-	SASent, SAAcked, SAExpired int64
-	SAMeanDelay, SAMaxDelay    sim.Time
-	VCPUMigrations             int64
-	Events                     uint64
+	// SA statistics from the hypervisor (IRS runs). SAPending counts
+	// handshakes still open when the run ended; SAFallbacks counts
+	// preemptions that skipped the handshake because the circuit
+	// breaker was open.
+	SASent, SAAcked, SAExpired, SAPending int64
+	SAFallbacks                           int64
+	SAMeanDelay, SAMaxDelay               sim.Time
+	VCPUMigrations                        int64
+	Events                                uint64
+	// FaultsInjected is the total fault count across all kinds
+	// (Scenario.Faults); Violations the invariant-checker total
+	// (Scenario.Invariants). Both 0 when the feature is off.
+	FaultsInjected int64
+	Violations     int64
 }
 
 // VM returns the result for the named VM.
@@ -153,6 +179,10 @@ type Cluster struct {
 	// Sampler is the periodic metrics sampler, non-nil when the
 	// scenario set both Metrics and SampleInterval.
 	Sampler *obs.Sampler
+	// Faults is the scenario's fault injector (nil without a plan);
+	// Checker the attached invariant checker (nil unless enabled).
+	Faults  *fault.Injector
+	Checker *invariant.Checker
 
 	finite     int
 	doneFinite int
@@ -174,17 +204,33 @@ func Build(scn Scenario) (*Cluster, error) {
 	}
 
 	eng := sim.NewEngine()
+	var inj *fault.Injector
+	if !scn.Faults.Zero() {
+		if err := scn.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		seed := scn.FaultSeed
+		if seed == 0 {
+			seed = scn.Seed ^ 0xfa017eed
+		}
+		inj = fault.NewInjector(scn.Faults, seed, scn.Metrics)
+	}
 	hc := hypervisor.DefaultConfig(scn.PCPUs)
 	hc.Strategy = scn.Strategy
 	hc.LoadBalance = scn.Unpinned
 	hc.Seed = scn.Seed
 	hc.Metrics = scn.Metrics
+	hc.Faults = inj
 	if scn.TuneHV != nil {
 		scn.TuneHV(&hc)
 	}
 	hv := hypervisor.New(eng, hc)
 
-	c := &Cluster{Scenario: scn, Engine: eng, HV: hv}
+	c := &Cluster{Scenario: scn, Engine: eng, HV: hv, Faults: inj}
+	if scn.Invariants {
+		c.Checker = invariant.New(scn.AuditInterval)
+		c.Checker.Observe(hv)
+	}
 	if scn.Metrics != nil && scn.SampleInterval > 0 {
 		c.Sampler = obs.NewSampler(scn.Metrics, scn.SampleInterval)
 		c.Sampler.Start(eng)
@@ -209,12 +255,16 @@ func Build(scn Scenario) (*Cluster, error) {
 		gc := guest.DefaultConfig()
 		gc.IRS = spec.IRS
 		gc.Metrics = scn.Metrics
+		gc.Faults = inj
 		gc.Seed = scn.Seed ^ uint64(vi+1)*0x9e37
 		if scn.TuneGuest != nil {
 			scn.TuneGuest(spec.Name, &gc)
 		}
 		kern := guest.NewKernel(hv, vm, gc)
 		c.Kernels = append(c.Kernels, kern)
+		if c.Checker != nil {
+			c.Checker.Observe(kern)
+		}
 
 		if spec.Attach == nil {
 			return nil, fmt.Errorf("core: VM %s has no workload", spec.Name)
@@ -228,6 +278,9 @@ func Build(scn Scenario) (*Cluster, error) {
 		if !spec.Repeat && !instIsEndless(inst) {
 			c.finite++
 		}
+	}
+	if c.Checker != nil {
+		c.Checker.Attach(eng)
 	}
 	return c, nil
 }
@@ -289,8 +342,16 @@ func (c *Cluster) Run() (*Result, error) {
 			Kernel:         k,
 		})
 	}
-	res.SASent, res.SAAcked, res.SAExpired, res.SAMeanDelay, res.SAMaxDelay = c.HV.SAStats()
+	res.SASent, res.SAAcked, res.SAExpired, res.SAPending, res.SAMeanDelay, res.SAMaxDelay = c.HV.SAStats()
+	res.SAFallbacks = c.HV.SAFallbacks()
 	res.VCPUMigrations = c.HV.VCPUMigrations()
+	if c.Faults != nil {
+		res.FaultsInjected = c.Faults.Total()
+	}
+	if c.Checker != nil {
+		c.Checker.Audit() // one final pass at end-of-run state
+		res.Violations = c.Checker.Count()
+	}
 
 	if c.doneFinite < c.finite {
 		if runErr != nil {

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// chaosVariant pairs a scheduling strategy with an optional hardening
+// profile. The two IRS rows isolate the value of the robustness
+// mechanisms: same protocol, with and without its defenses.
+type chaosVariant struct {
+	name     string
+	strategy core.Strategy
+	irs      bool
+	hardened bool
+}
+
+func chaosVariants() []chaosVariant {
+	return []chaosVariant{
+		{"vanilla", core.StrategyVanilla, false, false},
+		{"ple", core.StrategyPLE, false, false},
+		{"relaxed-co", core.StrategyRelaxedCo, false, false},
+		{"irs", core.StrategyIRS, true, false},
+		{"irs-hardened", core.StrategyIRS, true, true},
+	}
+}
+
+// chaosRates are the swept fault intensities; 0 is the control row
+// proving injection-off runs match the plain experiments.
+func chaosRates() []float64 { return []float64{0, 0.10, 0.25} }
+
+// chaosScenario builds one chaos run: the §5.1 streamcluster-vs-hog
+// rig under fault.LossPlan(rate), with the invariant checker attached
+// and, for the hardened variant, the full defense profile (duplicate
+// suppression, migrator retries, wakeup-loss poll, SA circuit
+// breaker). The registry is per-run so exports are comparable across
+// repeats of the same cell.
+func chaosScenario(seed uint64, rate float64, v chaosVariant, reg *obs.Registry) (core.Scenario, bool) {
+	bench, ok := workload.ByName("streamcluster")
+	if !ok {
+		return core.Scenario{}, false
+	}
+	fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
+	fg.IRS = v.irs
+	scn := core.Scenario{
+		PCPUs:      4,
+		Strategy:   v.strategy,
+		Seed:       seed,
+		Horizon:    120 * sim.Second,
+		VMs:        []core.VMSpec{fg, core.HogVM("bg", 1, core.SeqPins(0, 1))},
+		Metrics:    reg,
+		Invariants: true,
+	}
+	if rate > 0 {
+		// LossPlan(0) still carries the delay/staleness terms; keep the
+		// control row genuinely injection-free.
+		scn.Faults = fault.LossPlan(rate)
+	}
+	if v.hardened {
+		scn.TuneHV = func(c *hypervisor.Config) {
+			c.SABreakerN = 5
+			c.SABreakerCooldown = 50 * sim.Millisecond
+		}
+		scn.TuneGuest = func(name string, c *guest.Config) {
+			if name != "fg" {
+				return
+			}
+			c.HardenDupSA = true
+			c.MigratorRetries = 3
+			c.MigratorBackoff = 200 * sim.Microsecond
+			c.WakePoll = 5 * sim.Millisecond
+		}
+	}
+	return scn, true
+}
+
+// Chaos sweeps vIRQ/hypercall fault rates across the scheduling
+// strategies and reports what each run injected, recovered, and — per
+// the invariant checker — whether consistency ever broke. The
+// robustness claim the table supports: faults cost hardened IRS
+// throughput, never correctness, while unhardened runs stall outright
+// once wakeup loss strands an idle vCPU ("stalled" rows hit the
+// horizon with the benchmark unfinished).
+func Chaos(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		ID:    "chaos",
+		Title: "Chaos sweep: fault.LossPlan rate vs strategy (streamcluster vs 1 hog)",
+		Columns: []string{"rate", "variant", "runtime", "SA sent/ack/exp/pend",
+			"fallbacks", "recovered", "injected", "violations"},
+	}
+	for _, rate := range chaosRates() {
+		for _, v := range chaosVariants() {
+			reg := obs.NewRegistry()
+			scn, ok := chaosScenario(opt.Seed, rate, v, reg)
+			if !ok {
+				return t
+			}
+			res, err := core.Run(scn)
+			if res == nil {
+				opt.Logf("chaos: %s @ %.0f%%: %v", v.name, rate*100, err)
+				continue
+			}
+			runtime := "stalled"
+			if err == nil {
+				runtime = fmt.Sprintf("%.3fs", res.VM("fg").Runtime.Seconds())
+			}
+			k := res.VM("fg").Kernel
+			recovered := k.SADupSuppressed + k.MigratorRetried + k.WakePollRecoveries
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f%%", rate*100),
+				v.name,
+				runtime,
+				fmt.Sprintf("%d/%d/%d/%d", res.SASent, res.SAAcked, res.SAExpired, res.SAPending),
+				fmt.Sprintf("%d", res.SAFallbacks),
+				fmt.Sprintf("%d", recovered),
+				fmt.Sprintf("%d", res.FaultsInjected),
+				fmt.Sprintf("%d", res.Violations),
+			})
+		}
+	}
+	return t
+}

@@ -46,6 +46,13 @@ type CPU struct {
 	stoppers []func()
 
 	tickArmed bool
+	// saInFlight is true while the SA receiver/context switcher runs;
+	// with HardenDupSA a duplicate upcall arriving in that window is
+	// dropped instead of restarting the handler.
+	saInFlight bool
+	// wakePollArmed is true while the idle loop's wakeup-loss recovery
+	// timer (Config.WakePoll) is armed on the blocked vCPU.
+	wakePollArmed bool
 
 	// Statistics.
 	IdleTime  sim.Time
@@ -100,6 +107,23 @@ func (c *CPU) Resume() {
 	now := c.kern.Now()
 	var cost sim.Time
 	irqs := c.kern.hv.ClaimPendingIRQs(c.vcpu)
+	if c.wakePollArmed {
+		// The idle loop armed a wakeup-loss recovery timer before
+		// blocking. If we wake up with queued work but no kick among the
+		// claimed interrupts, the wakeup IPI was lost and the poll is
+		// what saved the stranded task.
+		c.wakePollArmed = false
+		kicked := false
+		for _, irq := range irqs {
+			if irq == hypervisor.IRQKick {
+				kicked = true
+			}
+		}
+		if !kicked && c.rq.Len() > 0 {
+			c.kern.WakePollRecoveries++
+			c.kern.mWakeRecover.Inc()
+		}
+	}
 	// Timer interrupts outrank everything else (TIMER_SOFTIRQ priority).
 	for pass := 0; pass < 2; pass++ {
 		for _, irq := range irqs {
@@ -127,15 +151,28 @@ func (c *CPU) Suspend() {
 	c.bankCur()
 	c.running = false
 	c.execGen++
+	// Suspension invalidates any in-flight SA handler (execGen above);
+	// a later upcall must be allowed to start a fresh one.
+	c.saInFlight = false
 }
 
 // TakeIRQ handles an interrupt delivered while executing.
 func (c *CPU) TakeIRQ(irq hypervisor.IRQ) {
+	if irq == hypervisor.IRQSAUpcall && c.saInFlight && c.kern.cfg.HardenDupSA {
+		// Hardened: a duplicate upcall while the handler is already in
+		// flight is dropped. Without this, the bankCur/execGen++ below
+		// cancels the in-flight handler and restarts it, doubling the
+		// ack latency — enough to blow the hypervisor's hard limit.
+		c.kern.SADupSuppressed++
+		c.kern.mSADupSupp.Inc()
+		return
+	}
 	c.bankCur()
 	c.execGen++
 	if irq == hypervisor.IRQSAUpcall {
 		// SA receiver + context-switcher bottom half; the sched_op
 		// acknowledgement happens when the handler cost has elapsed.
+		c.saInFlight = true
 		c.execAfter(c.kern.cfg.IRQCost+c.kern.cfg.SAHandlerCost, c.finishSAUpcall)
 		return
 	}
@@ -349,6 +386,9 @@ func (c *CPU) dispatchTask(next *Task) {
 		c.IdleTime += c.kern.Now() - c.idleSince
 		c.idleSince = 0
 	}
+	// Leaving the idle loop without a Resume (kicked while executing):
+	// the recovery poll no longer applies.
+	c.wakePollArmed = false
 	next.state = TaskRunning
 	next.cpu = c
 	c.cur = next
@@ -408,9 +448,17 @@ func (c *CPU) goIdle() {
 	if c.idleSince == 0 {
 		c.idleSince = c.kern.Now()
 	}
+	if wp := c.kern.cfg.WakePoll; wp > 0 {
+		// Hardened: arm a recovery timer so a lost wakeup kick strands
+		// queued work for at most WakePoll. The one-shot timer is
+		// naturally replaced by the next armTick once the CPU is busy.
+		c.wakePollArmed = true
+		c.kern.hv.SetTimer(c.vcpu, c.kern.Now()+wp)
+	}
 	if !c.kern.hv.SchedOpBlock(c.vcpu) {
 		// An interrupt is pending; it will arrive via TakeIRQ or the
 		// next Resume. Stay in the (running) idle loop.
+		c.wakePollArmed = false
 		if c.running {
 			irqs := c.kern.hv.ClaimPendingIRQs(c.vcpu)
 			var cost sim.Time
@@ -440,10 +488,11 @@ func (c *CPU) handleIRQ(irq hypervisor.IRQ) sim.Time {
 	}
 }
 
-// armTick programs the next timer interrupt via the hypervisor.
+// armTick programs the next timer interrupt via the hypervisor. An
+// injected tick-jitter fault pushes the expiry late.
 func (c *CPU) armTick(now sim.Time) {
 	c.tickArmed = true
-	c.kern.hv.SetTimer(c.vcpu, now+c.kern.cfg.Tick)
+	c.kern.hv.SetTimer(c.vcpu, now+c.kern.cfg.Tick+c.kern.cfg.Faults.TickDelay(c.kern.cfg.Tick))
 }
 
 func (c *CPU) stopTick() {

@@ -83,7 +83,7 @@ func TestSARoundTripUnderIRS(t *testing.T) {
 	if err := eng.Run(3 * sim.Second); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	sent, acked, expired, mean, max := hv.SAStats()
+	sent, acked, expired, _, mean, max := hv.SAStats()
 	if sent == 0 {
 		t.Fatal("no SA notifications sent despite contention")
 	}

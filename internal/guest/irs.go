@@ -19,6 +19,7 @@ import (
 // receiver's handling cost has elapsed and must end with the sched_op
 // hypercall that acknowledges the activation.
 func (c *CPU) finishSAUpcall() {
+	c.saInFlight = false
 	k := c.kern
 	if !k.cfg.IRS {
 		// Vanilla guest: the notification is ignored; the hypervisor's
@@ -58,13 +59,18 @@ type migrator struct {
 	queue   []migrItem
 	waiting bool
 	busy    bool
+	// retrying holds tasks parked in a backoff wait between migration
+	// attempts (Config.MigratorRetries); the invariant audit uses it to
+	// locate every TaskMigrating task.
+	retrying map[*Task]struct{}
 }
 
 // migrItem is one queued migration with its submission time, so the
 // migrator's queueing + processing latency is measurable.
 type migrItem struct {
-	t  *Task
-	at sim.Time
+	t       *Task
+	at      sim.Time
+	retries int
 }
 
 // submit hands a descheduled task to the migrator and tries to run it.
@@ -86,7 +92,11 @@ func (m *migrator) kick() {
 	}
 	m.waiting = false
 	m.busy = true
-	m.kern.eng.After(m.kern.cfg.MigratorCost, "irs-migrator", func() {
+	// An injected fault can stall the migrator kthread here, delaying
+	// every queued migration (drainSync is unaffected: a CPU about to
+	// idle settles its landing spot synchronously either way).
+	delay := m.kern.cfg.MigratorCost + m.kern.cfg.Faults.MigratorStall()
+	m.kern.eng.After(delay, "irs-migrator", func() {
 		m.busy = false
 		m.drain()
 	})
@@ -116,16 +126,39 @@ func (m *migrator) drain() {
 	for len(m.queue) > 0 {
 		item := m.queue[0]
 		m.queue = m.queue[1:]
-		m.migrate(item.t, item.at)
+		m.migrate(item)
 	}
 	m.kick()
+}
+
+// retryLater parks the migration for MigratorBackoff, then re-submits
+// it (hardened path; see Config.MigratorRetries).
+func (m *migrator) retryLater(item migrItem) {
+	k := m.kern
+	item.retries++
+	k.MigratorRetried++
+	k.mMigrRetry.Inc()
+	if m.retrying == nil {
+		m.retrying = make(map[*Task]struct{})
+	}
+	m.retrying[item.t] = struct{}{}
+	k.eng.After(k.cfg.MigratorBackoff, "irs-migrator-retry", func() {
+		delete(m.retrying, item.t)
+		if item.t.state != TaskMigrating || item.t.exited {
+			return
+		}
+		m.queue = append(m.queue, item)
+		m.kick()
+	})
 }
 
 // migrate implements Algorithm 2: find the least-loaded sibling vCPU —
 // an idle one if possible, otherwise the running vCPU with the lowest
 // rt_avg — and move the task there. Preempted (runnable) vCPUs and the
-// source vCPU are skipped. With no target the task returns home.
-func (m *migrator) migrate(t *Task, submitted sim.Time) {
+// source vCPU are skipped. With no target the task returns home, or —
+// hardened — the attempt is retried after a bounded backoff.
+func (m *migrator) migrate(item migrItem) {
+	t, submitted := item.t, item.at
 	if t.state != TaskMigrating || t.exited {
 		return
 	}
@@ -154,7 +187,19 @@ func (m *migrator) migrate(t *Task, submitted sim.Time) {
 	if target == nil {
 		target = leastLoaded
 	}
+	canRetry := k.cfg.MigratorRetries > 0 && item.retries < k.cfg.MigratorRetries
+	if target != nil && target == leastLoaded && canRetry && !target.running {
+		// Hardened: the runstate snapshot called the target Running but
+		// the vCPU is not actually executing (a stale VCPUOP_get_runstate
+		// reply). Landing the task there re-creates the preemption wait
+		// IRS exists to avoid; back off and retry instead.
+		target = nil
+	}
 	if target == nil {
+		if canRetry {
+			m.retryLater(item)
+			return
+		}
 		// No viable destination (every sibling is preempted): put the
 		// task back on its home runqueue; it runs when the vCPU does.
 		// The home vCPU blocked when it acknowledged the SA, so it must

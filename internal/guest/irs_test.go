@@ -220,7 +220,7 @@ func TestIRSDisabledGuestIgnoresSA(t *testing.T) {
 	if err := eng.Run(2 * sim.Second); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	_, _, expired, _, _ := hv.SAStats()
+	_, _, expired, _, _, _ := hv.SAStats()
 	if expired == 0 {
 		t.Fatal("hard limit never fired for a non-responsive guest")
 	}

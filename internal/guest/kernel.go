@@ -3,6 +3,7 @@ package guest
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hypervisor"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -34,6 +35,29 @@ type Config struct {
 	// proposed as future work in §6: an idling guest CPU steals the
 	// frozen current task of a preempted sibling vCPU.
 	IRSPull bool
+
+	// Protocol-hardening toggles, each independently ablatable. All off
+	// by default, reproducing the paper's unhardened protocol.
+
+	// HardenDupSA suppresses duplicate SA upcalls: an upcall arriving
+	// while the context switcher is already in flight is dropped
+	// instead of restarting the handler (which would double its latency
+	// and can push the ack past the hypervisor's hard limit).
+	HardenDupSA bool
+	// MigratorRetries bounds re-submission when the migrator finds no
+	// viable target or its chosen busy target turns out to be preempted
+	// (stale runstate); MigratorBackoff is the delay between attempts.
+	// 0 retries reproduces the immediate send-home fallback.
+	MigratorRetries int
+	MigratorBackoff sim.Time
+	// WakePoll, when positive, arms a recovery timer before the idle
+	// loop blocks the vCPU, so a lost wakeup kick strands queued work
+	// for at most WakePoll instead of forever.
+	WakePoll sim.Time
+
+	// Faults, when non-nil, injects guest-side faults: timer-tick
+	// jitter and migrator-thread stalls. Nil injects nothing.
+	Faults *fault.Injector
 
 	// Trace, when non-nil, records task scheduling events.
 	Trace *trace.Log
@@ -110,6 +134,11 @@ type Kernel struct {
 	IRSPullSteals   int64
 	idleBalanceRuns int64
 
+	// Hardening statistics (see the Harden* / WakePoll config knobs).
+	SADupSuppressed    int64 // duplicate SA upcalls dropped
+	MigratorRetried    int64 // migrations re-attempted after backoff
+	WakePollRecoveries int64 // lost wakeups recovered by the idle poll
+
 	// Metric handles (nil, hence no-op, without a registry).
 	mTaskMigr    *obs.Counter
 	mWakeMigr    *obs.Counter
@@ -119,6 +148,9 @@ type Kernel struct {
 	mIdleBalance *obs.Counter
 	mSpinWaits   *obs.Counter
 	mMigrLatency *obs.Histogram
+	mSADupSupp   *obs.Counter
+	mMigrRetry   *obs.Counter
+	mWakeRecover *obs.Counter
 }
 
 // NewKernel boots a guest kernel onto vm, creating one guest CPU per
@@ -142,6 +174,9 @@ func NewKernel(hv *hypervisor.Hypervisor, vm *hypervisor.VM, cfg Config) *Kernel
 	k.mIdleBalance = reg.Counter("guest_idle_balance_total", vmL)
 	k.mSpinWaits = reg.Counter("guest_spin_waits_total", vmL)
 	k.mMigrLatency = reg.Histogram("guest_migrator_latency_ns", vmL)
+	k.mSADupSupp = reg.Counter("guest_sa_dup_suppressed_total", vmL)
+	k.mMigrRetry = reg.Counter("guest_migrator_retries_total", vmL)
+	k.mWakeRecover = reg.Counter("guest_wake_poll_recoveries_total", vmL)
 	for i, v := range vm.VCPUs {
 		c := &CPU{kern: k, id: i, vcpu: v}
 		c.mRTAvg = reg.Gauge("guest_rt_avg", obs.Labels{Sub: "guest", VM: vm.Name, CPU: fmt.Sprintf("cpu%d", i)})
@@ -351,6 +386,68 @@ func (k *Kernel) checkWakePreempt(c *CPU, woken *Task) {
 		return
 	}
 	c.setNeedResched()
+}
+
+// AuditInvariants walks the guest scheduler's state and reports every
+// broken invariant through report (rule, detail). The central rule is
+// no-lost-tasks: every non-exited task must be locatable exactly where
+// its state claims it is — on a CPU, on a runqueue, in the migrator's
+// hands, or blocked awaiting a wakeup. Faults (lost kicks, stalled
+// migrators, blackouts) may delay tasks, never strand them untracked.
+func (k *Kernel) AuditInvariants(report func(rule, detail string)) {
+	live := 0
+	for _, t := range k.tasks {
+		if t.exited {
+			if t.state != TaskDone {
+				report("no-lost-tasks", fmt.Sprintf("%s exited but in state %s", t.Name, t.state))
+			}
+			continue
+		}
+		live++
+		switch t.state {
+		case TaskRunning:
+			if t.cpu == nil || t.cpu.cur != t {
+				report("no-lost-tasks", fmt.Sprintf("%s claims running but is not current anywhere", t.Name))
+			}
+		case TaskReady:
+			onRQ := false
+			if t.cpu != nil {
+				for _, q := range t.cpu.rq.Tasks() {
+					if q == t {
+						onRQ = true
+						break
+					}
+				}
+				if t.cpu.cur == t {
+					report("no-lost-tasks", fmt.Sprintf("%s claims ready but is current on cpu%d", t.Name, t.cpu.id))
+				}
+			}
+			if !onRQ {
+				report("no-lost-tasks", fmt.Sprintf("%s claims ready but is on no runqueue", t.Name))
+			}
+		case TaskMigrating:
+			found := false
+			for _, it := range k.migrator.queue {
+				if it.t == t {
+					found = true
+					break
+				}
+			}
+			if !found {
+				_, found = k.migrator.retrying[t]
+			}
+			if !found {
+				report("no-lost-tasks", fmt.Sprintf("%s claims migrating but the migrator does not hold it", t.Name))
+			}
+		case TaskBlocked:
+			// Awaiting an external wakeup; nothing locatable to check.
+		default:
+			report("no-lost-tasks", fmt.Sprintf("%s in unexpected state %s", t.Name, t.state))
+		}
+	}
+	if live != k.liveTasks {
+		report("live-task-count", fmt.Sprintf("%d tasks not exited but liveTasks=%d", live, k.liveTasks))
+	}
 }
 
 // kickCPU ensures CPU c will notice newly queued work: an idle blocked

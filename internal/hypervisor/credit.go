@@ -248,11 +248,38 @@ func (h *Hypervisor) preempt(p *PCPU) {
 		return
 	}
 	if h.cfg.Strategy == StrategyIRS && v.VM.SACapable && !v.saPending {
-		h.startSA(p, v)
-		return
+		if h.saBreakerAllows(v) {
+			h.startSA(p, v)
+			return
+		}
+		// Breaker open: the guest repeatedly failed to ack in time, so
+		// skip the handshake and preempt plainly (bounded degradation).
+		h.saFallbacks++
+		v.VM.mSAFallback.Inc()
+		if tl := h.cfg.Trace; tl != nil {
+			tl.Record(h.eng.Now(), trace.KindSA, v.Name(), "fallback (breaker open)")
+		}
 	}
 	h.deschedule(p, StateRunnable, true)
 	h.dispatch(p)
+}
+
+// saBreakerAllows reports whether the SA circuit breaker permits
+// activating v. With the breaker disabled (SABreakerN == 0) it always
+// does. An open breaker re-closes for a single half-open probe once
+// per cooldown; the probe either acks (resetting the streak) or
+// expires (re-opening the breaker).
+func (h *Hypervisor) saBreakerAllows(v *VCPU) bool {
+	n := h.cfg.SABreakerN
+	if n <= 0 || v.saConsecExpired < n {
+		return true
+	}
+	now := h.eng.Now()
+	if h.cfg.SABreakerCooldown > 0 && now-v.saBreakerOpenedAt >= h.cfg.SABreakerCooldown {
+		v.saBreakerOpenedAt = now
+		return true
+	}
+	return false
 }
 
 // startSA sends VIRQ_SA_UPCALL to the running vCPU and stalls the
@@ -264,6 +291,7 @@ func (h *Hypervisor) startSA(p *PCPU, v *VCPU) {
 	v.saSentAt = now
 	p.saWait = true
 	h.saSent++
+	h.saPendingN++
 	v.VM.mSASent.Inc()
 	v.saDeadline = h.eng.After(h.cfg.SALimit, "xen-sa-limit-"+v.Name(), func() {
 		h.saExpire(p, v)
@@ -271,25 +299,72 @@ func (h *Hypervisor) startSA(p *PCPU, v *VCPU) {
 	if tl := h.cfg.Trace; tl != nil {
 		tl.Record(now, trace.KindSA, v.Name(), "sent")
 	}
-	// The vCPU is running, so the interrupt is taken immediately.
-	v.ctx.TakeIRQ(IRQSAUpcall)
+	dropped, delays := h.cfg.Faults.SADelivery()
+	if dropped {
+		// The upcall is lost in flight. The hypervisor still accounts it
+		// as sent, so the hard limit fires and preempts regardless — the
+		// paper's anti-rogue-guest mechanism doubles as loss recovery.
+		if tl := h.cfg.Trace; tl != nil {
+			tl.Record(now, trace.KindSA, v.Name(), "dropped (fault)")
+		}
+		return
+	}
+	if delays == nil {
+		// The vCPU is running, so the interrupt is taken immediately.
+		v.ctx.TakeIRQ(IRQSAUpcall)
+		return
+	}
+	for _, d := range delays {
+		if d == 0 {
+			v.ctx.TakeIRQ(IRQSAUpcall)
+			continue
+		}
+		// Late (or duplicated) delivery only lands while the handshake
+		// is still open and the vCPU still executes on its pCPU.
+		h.eng.After(d, "fault-sa-delivery-"+v.Name(), func() {
+			if v.saPending && p.current == v {
+				v.ctx.TakeIRQ(IRQSAUpcall)
+			}
+		})
+	}
 }
 
 // saExpire fires when a guest failed to acknowledge an SA in time; the
 // hypervisor preempts regardless (the anti-rogue-guest hard limit).
+// Every expiry is accounted — even if the vCPU already left the pCPU
+// through some other path — so sent == acked + expired + pending holds
+// under fault injection.
 func (h *Hypervisor) saExpire(p *PCPU, v *VCPU) {
-	if !v.saPending || p.current != v {
+	if !v.saPending {
 		return
 	}
-	h.saExpired++
-	v.VM.mSAExpired.Inc()
+	h.saFail(v)
 	if tl := h.cfg.Trace; tl != nil {
 		tl.Record(h.eng.Now(), trace.KindSA, v.Name(), "expired")
 	}
-	v.saPending = false
+	if p.current != v {
+		return
+	}
 	p.saWait = false
 	h.deschedule(p, StateRunnable, true)
 	h.dispatch(p)
+}
+
+// saFail closes an open handshake as expired: accounting, breaker
+// streak, and pending-flag teardown shared by the hard limit and
+// forced teardowns (vCPU blackouts).
+func (h *Hypervisor) saFail(v *VCPU) {
+	h.saExpired++
+	h.saPendingN--
+	v.VM.mSAExpired.Inc()
+	v.saConsecExpired++
+	if n := h.cfg.SABreakerN; n > 0 && v.saConsecExpired == n {
+		v.saBreakerOpenedAt = h.eng.Now()
+		v.VM.mSABreaker.Inc()
+	}
+	h.eng.Cancel(v.saDeadline)
+	v.saDeadline = nil
+	v.saPending = false
 }
 
 // completeSA finishes the SA handshake after the guest's sched_op
@@ -297,6 +372,8 @@ func (h *Hypervisor) saExpire(p *PCPU, v *VCPU) {
 func (h *Hypervisor) completeSA(v *VCPU, disposition RunState) {
 	p := v.pcpu
 	h.saAcked++
+	h.saPendingN--
+	v.saConsecExpired = 0
 	delay := h.eng.Now() - v.saSentAt
 	h.saDelaySum += delay
 	if delay > h.saDelayMax {

@@ -1,6 +1,9 @@
 package hypervisor
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // This file is the hypercall surface exposed to guest kernels. All
 // calls are synchronous: the guest invokes them from vCPU context while
@@ -18,8 +21,10 @@ func (h *Hypervisor) SchedOpBlock(v *VCPU) bool {
 		return false
 	}
 	if v.saPending {
-		h.completeSA(v, StateBlocked)
-		return true
+		// The block doubles as the SA acknowledgement; under fault
+		// injection the ack may be lost (the guest keeps the vCPU and
+		// the hard limit fires) or arrive late.
+		return h.ackSA(v, StateBlocked)
 	}
 	p := v.pcpu
 	h.deschedule(p, StateBlocked, false)
@@ -35,7 +40,7 @@ func (h *Hypervisor) SchedOpYield(v *VCPU) {
 		return
 	}
 	if v.saPending {
-		h.completeSA(v, StateRunnable)
+		h.ackSA(v, StateRunnable)
 		return
 	}
 	p := v.pcpu
@@ -44,17 +49,70 @@ func (h *Hypervisor) SchedOpYield(v *VCPU) {
 	h.dispatch(p)
 }
 
+// ackSA settles an SA acknowledgement subject to fault injection. It
+// reports whether the guest's hypercall took effect: a lost ack leaves
+// the handshake open (the hard limit will preempt), a delayed ack
+// completes after the injected latency, and the fault-free path
+// completes immediately.
+func (h *Hypervisor) ackSA(v *VCPU, disposition RunState) bool {
+	lost, delay := h.cfg.Faults.AckFault()
+	if lost {
+		if tl := h.cfg.Trace; tl != nil {
+			tl.Record(h.eng.Now(), trace.KindSA, v.Name(), "ack lost (fault)")
+		}
+		return false
+	}
+	if delay > 0 {
+		h.eng.After(delay, "fault-ack-delay-"+v.Name(), func() {
+			// The hard limit may have fired meanwhile; a settled
+			// handshake swallows the late ack.
+			if v.saPending && v.pcpu != nil {
+				h.completeSA(v, disposition)
+			}
+		})
+		return true
+	}
+	h.completeSA(v, disposition)
+	return true
+}
+
 // Runstate is what VCPUOP_get_runstate_info reports to the guest.
 type Runstate struct {
 	State RunState
 	Steal sim.Time
 }
 
+// rsSnap is a cached runstate answer used to serve stale snapshots
+// under fault injection.
+type rsSnap struct {
+	rs Runstate
+	at sim.Time
+}
+
 // GetRunstate is HYPERVISOR_vcpu_op(VCPUOP_get_runstate_info): it lets
 // the guest (the IRS migrator, steal-time accounting) observe the true
-// hypervisor state of any sibling vCPU.
+// hypervisor state of any sibling vCPU. With a StaleRunstate fault the
+// answer comes from a per-vCPU snapshot refreshed only once it exceeds
+// the staleness bound, so the guest can observe a sibling as running
+// long after it was preempted.
 func (h *Hypervisor) GetRunstate(v *VCPU) Runstate {
-	return Runstate{State: v.state, Steal: v.StealTime()}
+	maxAge := h.cfg.Faults.RunstateMaxAge()
+	if maxAge <= 0 {
+		return Runstate{State: v.state, Steal: v.StealTime()}
+	}
+	now := h.eng.Now()
+	if s, ok := h.staleRS[v]; ok && now-s.at <= maxAge {
+		if now > s.at {
+			h.cfg.Faults.RecordStaleServe()
+		}
+		return s.rs
+	}
+	rs := Runstate{State: v.state, Steal: v.StealTime()}
+	if h.staleRS == nil {
+		h.staleRS = make(map[*VCPU]rsSnap)
+	}
+	h.staleRS[v] = rsSnap{rs: rs, at: now}
+	return rs
 }
 
 // SetTimer arms the per-vCPU one-shot timer (VCPUOP_set_singleshot_timer).

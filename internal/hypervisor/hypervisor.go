@@ -3,6 +3,7 @@ package hypervisor
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -66,6 +67,19 @@ type Config struct {
 	// SALimit is the hard deadline for a guest to acknowledge a
 	// scheduler activation before the hypervisor preempts anyway.
 	SALimit sim.Time
+
+	// SABreakerN, when positive, arms a per-vCPU circuit breaker in the
+	// SA sender: after N consecutive hard-limit expiries the sender
+	// stops activating that vCPU and falls back to plain preemption,
+	// re-probing once per SABreakerCooldown (half-open). 0 disables the
+	// breaker, preserving the paper's unconditional protocol.
+	SABreakerN        int
+	SABreakerCooldown sim.Time
+
+	// Faults, when non-nil, injects deterministic control-plane faults
+	// (dropped/delayed/duplicated vIRQs, lossy SA acks, stale runstate
+	// snapshots, vCPU blackouts). Nil injects nothing.
+	Faults *fault.Injector
 
 	// PLEWindow is how long continuous spinning runs before the
 	// pause-loop exit fires and the vCPU is forced to yield.
@@ -135,9 +149,15 @@ type Hypervisor struct {
 	saSent         int64
 	saAcked        int64
 	saExpired      int64
+	saPendingN     int64
+	saFallbacks    int64
 	saDelaySum     sim.Time
 	saDelayMax     sim.Time
 	vcpuMigrations int64
+
+	// staleRS caches per-vCPU runstate snapshots when the fault plan
+	// serves stale VCPUOP_get_runstate answers.
+	staleRS map[*VCPU]rsSnap
 
 	// Metric handles; all nil (and all updates no-ops) when
 	// cfg.Metrics is nil.
@@ -182,6 +202,9 @@ func New(eng *sim.Engine, cfg Config) *Hypervisor {
 	if cfg.Strategy == StrategyStrictCo {
 		eng.Every(cfg.Timeslice, "xen-gang-rotate", h.strictCoRotate)
 	}
+	if every, dur := cfg.Faults.BlackoutSchedule(); every > 0 {
+		eng.Every(every, "fault-blackout", func() { h.blackout(dur) })
+	}
 	return h
 }
 
@@ -220,6 +243,8 @@ func (h *Hypervisor) NewVM(name string, nvcpus, weight int, saCapable bool) *VM 
 	vm.mSASent = reg.Counter("hv_sa_sent_total", vmL)
 	vm.mSAAcked = reg.Counter("hv_sa_acked_total", vmL)
 	vm.mSAExpired = reg.Counter("hv_sa_expired_total", vmL)
+	vm.mSAFallback = reg.Counter("hv_sa_fallback_total", vmL)
+	vm.mSABreaker = reg.Counter("hv_sa_breaker_opens_total", vmL)
 	vm.mLHP = reg.Counter("hv_lhp_total", vmL)
 	vm.mLWP = reg.Counter("hv_lwp_total", vmL)
 	vm.mBoost = reg.Counter("hv_boost_total", vmL)
@@ -258,6 +283,8 @@ func (h *Hypervisor) StartVCPU(v *VCPU) {
 		return
 	}
 	v.stateSince = h.eng.Now()
+	v.startedAt = h.eng.Now()
+	v.started = true
 	v.state = StateRunnable
 	p := h.placeVCPU(v)
 	v.assigned = p
@@ -266,15 +293,21 @@ func (h *Hypervisor) StartVCPU(v *VCPU) {
 }
 
 // SAStats reports scheduler-activation round-trip statistics:
-// notifications sent, acknowledged, expired at the hard limit, and the
-// mean/max guest handling delay.
-func (h *Hypervisor) SAStats() (sent, acked, expired int64, meanDelay, maxDelay sim.Time) {
+// notifications sent, acknowledged, expired at the hard limit, still
+// pending (in-flight handshakes), and the mean/max guest handling
+// delay. The counts obey sent == acked + expired + pending even under
+// dropped or duplicated delivery.
+func (h *Hypervisor) SAStats() (sent, acked, expired, pending int64, meanDelay, maxDelay sim.Time) {
 	mean := sim.Time(0)
 	if h.saAcked > 0 {
 		mean = h.saDelaySum / sim.Time(h.saAcked)
 	}
-	return h.saSent, h.saAcked, h.saExpired, mean, h.saDelayMax
+	return h.saSent, h.saAcked, h.saExpired, h.saPendingN, mean, h.saDelayMax
 }
+
+// SAFallbacks reports how many preemptions skipped the SA handshake
+// because the per-vCPU circuit breaker was open.
+func (h *Hypervisor) SAFallbacks() int64 { return h.saFallbacks }
 
 // PLEYields reports how many pause-loop exits forced a yield.
 func (h *Hypervisor) PLEYields() int64 { return h.pleYields }

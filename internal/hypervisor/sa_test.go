@@ -61,7 +61,7 @@ func saRig(t *testing.T, delay sim.Time, block, ignore bool) (*sim.Engine, *Hype
 func TestSASentOnInvoluntaryPreemption(t *testing.T) {
 	eng, h, g := saRig(t, 20*sim.Microsecond, false, false)
 	_ = eng.Run(2 * sim.Second)
-	sent, acked, expired, mean, _ := h.SAStats()
+	sent, acked, expired, _, mean, _ := h.SAStats()
 	if sent == 0 {
 		t.Fatal("no SAs sent under contention")
 	}
@@ -82,7 +82,7 @@ func TestSASentOnInvoluntaryPreemption(t *testing.T) {
 func TestSAHardLimitEnforced(t *testing.T) {
 	eng, h, _ := saRig(t, 0, false, true) // rogue guest never acks
 	_ = eng.Run(2 * sim.Second)
-	sent, acked, expired, _, _ := h.SAStats()
+	sent, acked, expired, _, _, _ := h.SAStats()
 	if sent == 0 {
 		t.Fatal("no SAs sent")
 	}
@@ -97,7 +97,7 @@ func TestSAHardLimitEnforced(t *testing.T) {
 func TestSADelayWithinHardLimit(t *testing.T) {
 	eng, h, _ := saRig(t, 30*sim.Microsecond, false, false)
 	_ = eng.Run(1 * sim.Second)
-	_, _, _, _, maxDelay := h.SAStats()
+	_, _, _, _, _, maxDelay := h.SAStats()
 	if maxDelay > h.Config().SALimit {
 		t.Fatalf("max SA delay %v exceeds limit %v", maxDelay, h.Config().SALimit)
 	}
@@ -135,7 +135,7 @@ func TestSANotSentToIncapableVM(t *testing.T) {
 	hv.Pin(h.PCPU(0))
 	h.StartVCPU(hv)
 	_ = eng.Run(1 * sim.Second)
-	sent, _, _, _, _ := h.SAStats()
+	sent, _, _, _, _, _ := h.SAStats()
 	if sent != 0 {
 		t.Fatalf("%d SAs sent to a non-capable VM", sent)
 	}
@@ -144,7 +144,7 @@ func TestSANotSentToIncapableVM(t *testing.T) {
 func TestSANotSentUnderVanilla(t *testing.T) {
 	eng, h, _ := rig(t, DefaultConfig(1), false, 1, 1)
 	_ = eng.Run(1 * sim.Second)
-	if sent, _, _, _, _ := h.SAStats(); sent != 0 {
+	if sent, _, _, _, _, _ := h.SAStats(); sent != 0 {
 		t.Fatalf("%d SAs sent under vanilla strategy", sent)
 	}
 }

@@ -127,6 +127,14 @@ type VCPU struct {
 	saSentAt   sim.Time   // when the pending SA was sent
 	saDeadline *sim.Event // hard limit for SA completion
 
+	// Circuit-breaker state (cfg.SABreakerN): consecutive hard-limit
+	// expiries without an intervening ack, and when the breaker opened.
+	saConsecExpired   int
+	saBreakerOpenedAt sim.Time
+
+	started   bool     // StartVCPU has run
+	startedAt sim.Time // when the vCPU came online
+
 	pendingIRQ []IRQ
 	timer      *sim.Event // one-shot guest timer
 	timerAt    sim.Time
@@ -243,6 +251,8 @@ type VM struct {
 	mSASent      *obs.Counter
 	mSAAcked     *obs.Counter
 	mSAExpired   *obs.Counter
+	mSAFallback  *obs.Counter
+	mSABreaker   *obs.Counter
 	mLHP         *obs.Counter
 	mLWP         *obs.Counter
 	mBoost       *obs.Counter

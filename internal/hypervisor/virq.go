@@ -31,8 +31,34 @@ func (i IRQ) String() string {
 
 // SendIRQ delivers irq to v. A running vCPU takes it immediately; a
 // descheduled vCPU accumulates it as pending (taken on resume); a
-// blocked vCPU is woken first.
+// blocked vCPU is woken first. Event-channel kicks (IRQKick) pass
+// through the fault injector and may be dropped, delayed, or
+// duplicated — the lost-wakeup pathology.
 func (h *Hypervisor) SendIRQ(v *VCPU, irq IRQ) {
+	if irq == IRQKick {
+		dropped, delays := h.cfg.Faults.WakeDelivery()
+		if dropped {
+			return
+		}
+		if delays != nil {
+			for _, d := range delays {
+				if d == 0 {
+					h.deliverIRQ(v, irq)
+					continue
+				}
+				h.eng.After(d, "fault-wake-delay-"+v.Name(), func() {
+					if v.state != StateOffline {
+						h.deliverIRQ(v, irq)
+					}
+				})
+			}
+			return
+		}
+	}
+	h.deliverIRQ(v, irq)
+}
+
+func (h *Hypervisor) deliverIRQ(v *VCPU, irq IRQ) {
 	switch v.state {
 	case StateRunning:
 		v.ctx.TakeIRQ(irq)

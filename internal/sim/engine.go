@@ -19,6 +19,14 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+
+	// OnViolation, when set, receives scheduling-contract violations
+	// (scheduling in the past, non-positive periods) instead of the
+	// engine panicking mid-run. The engine then degrades safely: a
+	// past-time event is clamped to now, a non-positive period
+	// schedules nothing. Chaos runs attach an invariant checker here so
+	// fault sweeps report which contract broke rather than crashing.
+	OnViolation func(name, detail string)
 }
 
 // NewEngine returns an engine with an empty queue at time zero.
@@ -33,10 +41,17 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // At schedules fn at absolute time t. Scheduling in the past is a
-// programming error and panics: it would silently corrupt causality.
+// programming error: it would silently corrupt causality. Without an
+// OnViolation hook it panics; with one it reports the violation and
+// clamps the event to now.
 func (e *Engine) At(t Time, name string, fn func()) *Event {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, e.now))
+		detail := fmt.Sprintf("scheduling %q at %v before now %v", name, t, e.now)
+		if e.OnViolation == nil {
+			panic("sim: " + detail)
+		}
+		e.OnViolation("schedule-in-past", detail)
+		t = e.now
 	}
 	ev := &Event{At: t, Fn: fn, seq: e.seq, Name: name}
 	e.seq++
@@ -50,9 +65,16 @@ func (e *Engine) After(d Time, name string, fn func()) *Event {
 }
 
 // Every schedules fn to run every period d, first firing after d.
+// A non-positive period panics, or — when an OnViolation hook is set —
+// reports the violation and schedules nothing (returns nil, which
+// Cancel accepts).
 func (e *Engine) Every(d Time, name string, fn func()) *Event {
 	if d <= 0 {
-		panic("sim: non-positive period for " + name)
+		if e.OnViolation == nil {
+			panic("sim: non-positive period for " + name)
+		}
+		e.OnViolation("non-positive-period", fmt.Sprintf("period %v for %q", d, name))
+		return nil
 	}
 	ev := e.After(d, name, fn)
 	ev.Period = d

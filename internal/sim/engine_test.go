@@ -256,3 +256,35 @@ func TestTimeFormatting(t *testing.T) {
 		}
 	}
 }
+
+func TestOnViolationReportsInsteadOfPanicking(t *testing.T) {
+	eng := NewEngine()
+	var names, details []string
+	eng.OnViolation = func(name, detail string) {
+		names = append(names, name)
+		details = append(details, detail)
+	}
+	fired := false
+	eng.At(10, "later", func() {
+		// Scheduling in the past is clamped to now and still fires.
+		eng.At(5, "past", func() { fired = true })
+	})
+	if ev := eng.Every(0, "bad-period", func() {}); ev != nil {
+		t.Fatal("non-positive period returned an event")
+	}
+	eng.Cancel(nil) // the nil return must be safe to cancel
+	if err := eng.Run(20); err != nil && !errors.Is(err, ErrDeadlock) {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("clamped past event did not fire")
+	}
+	if len(names) != 2 || names[0] != "non-positive-period" || names[1] != "schedule-in-past" {
+		t.Fatalf("violations = %v", names)
+	}
+	for _, d := range details {
+		if d == "" {
+			t.Fatal("violation with empty detail")
+		}
+	}
+}
