@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench report fuzz-smoke chaos
+# Committed benchmark baseline for the regression gate (see
+# cmd/benchjson and DESIGN.md §9).
+BENCH_SNAPSHOT ?= BENCH_3.json
+
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos
 
 check: build vet race
 
@@ -17,12 +21,29 @@ vet:
 test:
 	$(GO) test ./...
 
+# The expensive experiments.All determinism sweep skips under -short;
+# the race job still covers the per-figure determinism subtests.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
-# Regenerate the paper's evaluation via the benchmark harness.
+# Benchmark snapshot: the per-figure evaluation benchmarks (root
+# package) plus the engine microbenchmarks, captured as JSON for the
+# regression gate.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench . -benchmem ./... > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson -o $(BENCH_SNAPSHOT) < bench.out
+	@rm -f bench.out
+
+# Regression gate: measure a fresh snapshot and compare it against the
+# committed baseline with a ±15% tolerance. allocs/op is gated on every
+# host; ns/op only when the host metadata matches the baseline's.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem ./... > bench.new.out || { cat bench.new.out; rm -f bench.new.out; exit 1; }
+	@cat bench.new.out
+	$(GO) run ./cmd/benchjson -o bench.new.json < bench.new.out
+	$(GO) run ./cmd/benchjson -compare $(BENCH_SNAPSHOT) bench.new.json -tolerance 0.15
+	@rm -f bench.new.out bench.new.json
 
 # Telemetry smoke run: summary + all three exports for vanilla vs IRS.
 report:

@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	irsim [-runs N] [-seed S] [-v] list
+//	irsim [-runs N] [-seed S] [-parallel] [-workers N] [-v] list
 //	irsim [-runs N] [-seed S] [-v] all
 //	irsim [-runs N] [-seed S] [-v] fig5 fig6 ...
+//	irsim [-cpuprofile cpu.pprof] [-memprofile mem.pprof] all
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,6 +30,10 @@ func run(args []string) int {
 	runs := fs.Int("runs", 3, "simulated runs per data point (paper: 5)")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	verbose := fs.Bool("v", false, "log each measurement")
+	parallel := fs.Bool("parallel", true, "fan each figure's simulation matrix across worker goroutines")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -35,7 +42,40 @@ func run(args []string) int {
 		return 2
 	}
 
-	opt := experiments.Options{Runs: *runs, Seed: *seed}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irsim: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "irsim: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
+	opt := experiments.Options{Runs: *runs, Seed: *seed, Workers: *workers}
+	if !*parallel {
+		opt.Workers = 1
+	}
 	if *verbose {
 		opt.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)

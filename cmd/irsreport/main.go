@@ -15,6 +15,7 @@
 //	          [-seed 1] [-sample 10ms] [-prom out.prom] [-csv out.csv]
 //	          [-tracejson out.json] [-at 1s] [-window 100ms]
 //	          [-faults drop-sa=0.1,dup-sa=0.05] [-fault-seed 0]
+//	          [-parallel] [-workers N]
 //
 // With -faults, the spec (see fault.ParsePlan) is injected into every
 // run, the runtime invariant checker is attached, and the summary
@@ -22,16 +23,19 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
@@ -60,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	window := fs.Duration("window", 100*time.Millisecond, "length of the Chrome trace window")
 	faultSpec := fs.String("faults", "", "fault plan, e.g. drop-sa=0.1,dup-sa=0.05 (see fault.ParsePlan; \"none\" disables)")
 	faultSeed := fs.Uint64("fault-seed", 0, "fault injector seed (0 derives from -seed)")
+	parallel := fs.Bool("parallel", true, "run the per-strategy reports across worker goroutines")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,12 +95,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	for _, strat := range strategies {
-		if err := report(stdout, stderr, bench, *benchName, strat, *inter, *seed,
-			sim.Duration(*sample), *promPath, *csvPath, *traceJSON,
-			sim.Duration(*at), sim.Duration(*window), len(strategies) > 1,
-			plan, *faultSeed); err != nil {
-			fmt.Fprintf(stderr, "irsreport: %v\n", err)
+	// Each strategy's run is an isolated simulation: fan them out and
+	// buffer the output so stdout/stderr stay in strategy order and the
+	// emitted report is byte-identical to a serial run.
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if !*parallel {
+		nWorkers = 1
+	}
+	type reportOut struct {
+		out, errOut bytes.Buffer
+		err         error
+	}
+	outs := make([]reportOut, len(strategies))
+	fns := make([]func(), len(strategies))
+	for i, strat := range strategies {
+		i, strat := i, strat
+		fns[i] = func() {
+			outs[i].err = report(&outs[i].out, &outs[i].errOut, bench, *benchName,
+				strat, *inter, *seed, sim.Duration(*sample),
+				*promPath, *csvPath, *traceJSON,
+				sim.Duration(*at), sim.Duration(*window), len(strategies) > 1,
+				plan, *faultSeed)
+		}
+	}
+	experiments.ParallelDo(nWorkers, fns)
+	for i := range outs {
+		io.Copy(stdout, &outs[i].out)
+		io.Copy(stderr, &outs[i].errOut)
+		if outs[i].err != nil {
+			fmt.Fprintf(stderr, "irsreport: %v\n", outs[i].err)
 			return 1
 		}
 	}

@@ -1,10 +1,14 @@
 // Command irsweep runs ad-hoc parameter sweeps: one benchmark, a range
-// of interference levels, all four scheduling strategies.
+// of interference levels, all four scheduling strategies. The
+// (level × strategy) matrix fans out across worker goroutines; each
+// cell is an isolated deterministic simulation, so the printed table is
+// identical with and without -parallel.
 //
 // Usage:
 //
 //	irsweep -bench streamcluster -inter 0,1,2,4 [-mode spin|block] [-vcpus 4]
-//	        [-unpinned] [-seed S] [-runs N]
+//	        [-unpinned] [-seed S] [-runs N] [-parallel] [-workers N]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	irsweep -list
 package main
 
@@ -12,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -35,6 +42,10 @@ func run(args []string) int {
 	seed := fs.Uint64("seed", 1, "base random seed")
 	runs := fs.Int("runs", 3, "runs per data point")
 	list := fs.Bool("list", false, "list benchmark names and exit")
+	parallel := fs.Bool("parallel", true, "fan sweep cells across worker goroutines")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,6 +54,36 @@ func run(args []string) int {
 			fmt.Println(n)
 		}
 		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irsweep: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "irsweep: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "irsweep: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "irsweep: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	bench, ok := workload.ByName(*benchName)
@@ -72,20 +113,48 @@ func run(args []string) int {
 		levels = append(levels, n)
 	}
 
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if !*parallel {
+		nWorkers = 1
+	}
+
+	// Compute every (level, strategy) cell up front — each is an
+	// isolated simulation — then print the matrix serially.
+	strats := core.Strategies()
+	type cell struct {
+		mean float64
+		err  error
+	}
+	cells := make([]cell, len(levels)*len(strats))
+	var fns []func()
+	for li, lvl := range levels {
+		for si, st := range strats {
+			li, si, lvl, st := li, si, lvl, st
+			fns = append(fns, func() {
+				mean, err := sweepPoint(bench, mode, st, lvl, *vcpus, *unpinned, *seed, *runs)
+				cells[li*len(strats)+si] = cell{mean: mean, err: err}
+			})
+		}
+	}
+	experiments.ParallelDo(nWorkers, fns)
+
 	fmt.Printf("%-10s", "inter")
-	for _, st := range core.Strategies() {
+	for _, st := range strats {
 		fmt.Printf("  %-12s", st)
 	}
 	fmt.Println()
-	for _, lvl := range levels {
+	for li, lvl := range levels {
 		fmt.Printf("%-10d", lvl)
-		for _, st := range core.Strategies() {
-			mean, err := sweepPoint(bench, mode, st, lvl, *vcpus, *unpinned, *seed, *runs)
-			if err != nil {
+		for si := range strats {
+			c := cells[li*len(strats)+si]
+			if c.err != nil {
 				fmt.Printf("  %-12s", "ERR")
 				continue
 			}
-			fmt.Printf("  %-12s", fmt.Sprintf("%.3fs", mean))
+			fmt.Printf("  %-12s", fmt.Sprintf("%.3fs", c.mean))
 		}
 		fmt.Println()
 	}

@@ -24,17 +24,18 @@ import (
 
 // AblationIRSPull compares IRS with and without the §6 pull mechanism
 // on a blocking, barrier-heavy workload.
-func AblationIRSPull(opt Options) Table {
-	opt = opt.withDefaults()
+func AblationIRSPull(opt Options) Table { return runFigure(opt, ablationIRSPull) }
+
+func ablationIRSPull(h *harness) Table {
 	bench, _ := workload.ByName("streamcluster")
 	rows := [][]string{}
 	for _, lvl := range []int{1, 2, 4} {
 		var van, push, pull []float64
-		for i := 0; i < opt.Runs; i++ {
-			seed := opt.Seed + uint64(i)*7919
-			van = append(van, pullPoint(bench, core.StrategyVanilla, false, lvl, seed))
-			push = append(push, pullPoint(bench, core.StrategyIRS, false, lvl, seed))
-			pull = append(pull, pullPoint(bench, core.StrategyIRS, true, lvl, seed))
+		for i := 0; i < h.opt.Runs; i++ {
+			seed := h.opt.Seed + uint64(i)*7919
+			van = append(van, pullPointJob(h, bench, core.StrategyVanilla, false, lvl, seed))
+			push = append(push, pullPointJob(h, bench, core.StrategyIRS, false, lvl, seed))
+			pull = append(pull, pullPointJob(h, bench, core.StrategyIRS, true, lvl, seed))
 		}
 		v := metrics.Summarize(van).Mean
 		rows = append(rows, []string{
@@ -49,6 +50,15 @@ func AblationIRSPull(opt Options) Table {
 		Columns: []string{"interference", "IRS push", "IRS push+pull"},
 		Rows:    rows,
 	}
+}
+
+// pullPointJob wraps one pullPoint run as a harness job, one per
+// (strategy, pull?, interference, seed) cell.
+func pullPointJob(h *harness, bench workload.Benchmark, strat core.Strategy, irsPull bool, inter int, seed uint64) float64 {
+	key := fmt.Sprintf("abpull|%s|%v|%d|%d", strat, irsPull, inter, seed)
+	return jobAs(h, key, func() float64 {
+		return pullPoint(bench, strat, irsPull, inter, seed)
+	})
 }
 
 func pullPoint(bench workload.Benchmark, strat core.Strategy, irsPull bool, inter int, seed uint64) float64 {
@@ -79,21 +89,34 @@ func pullPoint(bench workload.Benchmark, strat core.Strategy, irsPull bool, inte
 // activations expire before the guest can respond (IRS degrades to
 // vanilla); the paper's 20-26µs handling cost suggests anything beyond
 // ~50µs suffices.
-func AblationSALimit(opt Options) Table {
-	opt = opt.withDefaults()
+func AblationSALimit(opt Options) Table { return runFigure(opt, ablationSALimit) }
+
+// salimitOut is one IRS data point of the SA-limit sweep.
+type salimitOut struct {
+	rt, expired float64
+}
+
+func ablationSALimit(h *harness) Table {
+	opt := h.opt
 	bench, _ := workload.ByName("streamcluster")
 	limits := []sim.Time{
 		10 * sim.Microsecond, 25 * sim.Microsecond, 50 * sim.Microsecond,
 		100 * sim.Microsecond, 1 * sim.Millisecond,
 	}
-	base := salimitPoint(opt, bench, 0, 0) // vanilla baseline
+	base := jobAs(h, "absalimit|vanilla", func() float64 {
+		return salimitPoint(opt, bench, 0, 0) // vanilla baseline
+	})
 	rows := [][]string{}
 	for _, lim := range limits {
-		rt, expired := salimitPointIRS(opt, bench, lim)
+		lim := lim
+		out := jobAs(h, fmt.Sprintf("absalimit|%s", lim), func() salimitOut {
+			rt, expired := salimitPointIRS(opt, bench, lim)
+			return salimitOut{rt: rt, expired: expired}
+		})
 		rows = append(rows, []string{
 			lim.String(),
-			pct(metrics.Improvement(base, rt)),
-			fmt.Sprintf("%.0f%%", expired*100),
+			pct(metrics.Improvement(base, out.rt)),
+			fmt.Sprintf("%.0f%%", out.expired*100),
 		})
 	}
 	return Table{
@@ -145,8 +168,9 @@ func salimitPointIRS(opt Options, bench workload.Benchmark, limit sim.Time) (flo
 // lock-heavy spinning workload under interference: FIFO handoff to a
 // preempted waiter stalls the lock for everyone (the LWP pathology the
 // preemptable-ticket-spinlock literature attacks [24]).
-func AblationTicketLock(opt Options) Table {
-	opt = opt.withDefaults()
+func AblationTicketLock(opt Options) Table { return runFigure(opt, ablationTicketLock) }
+
+func ablationTicketLock(h *harness) Table {
 	rows := [][]string{}
 	// A lock-bound kernel: critical sections cover roughly half the
 	// execution, so waiter queues actually form.
@@ -156,10 +180,10 @@ func AblationTicketLock(opt Options) Table {
 		LocksPerIter: 6, CSLen: 150 * sim.Microsecond,
 	}
 	for _, lvl := range []int{0, 1, 2} {
-		tas := ticketPoint(opt, spec, false, lvl)
+		tas := ticketPointJob(h, spec, false, lvl)
 		spec2 := spec
 		spec2.TicketLock = true
-		fifo := ticketPoint(opt, spec2, true, lvl)
+		fifo := ticketPointJob(h, spec2, true, lvl)
 		slow := 0.0
 		if tas > 0 {
 			slow = fifo / tas
@@ -177,6 +201,17 @@ func AblationTicketLock(opt Options) Table {
 		Columns: []string{"interference", "TAS", "ticket", "ticket/TAS"},
 		Rows:    rows,
 	}
+}
+
+// ticketPointJob wraps one ticketPoint cell as a harness job. The key
+// carries the iteration count so ab-ticket's 600-iteration spec and
+// claim C17's 400-iteration spec never collide.
+func ticketPointJob(h *harness, spec workload.ParallelSpec, ticket bool, inter int) float64 {
+	opt := h.opt
+	key := fmt.Sprintf("abticket|%d|%v|%d", spec.Iterations, spec.TicketLock, inter)
+	return jobAs(h, key, func() float64 {
+		return ticketPoint(opt, spec, ticket, inter)
+	})
 }
 
 func ticketPoint(opt Options, spec workload.ParallelSpec, ticket bool, inter int) float64 {
@@ -207,14 +242,15 @@ func ticketPoint(opt Options, spec workload.ParallelSpec, ticket bool, inter int
 
 // AblationSpinBlock sweeps the adaptive pre-sleep spin budget of
 // blocking primitives and shows its interaction with PLE.
-func AblationSpinBlock(opt Options) Table {
-	opt = opt.withDefaults()
+func AblationSpinBlock(opt Options) Table { return runFigure(opt, ablationSpinBlock) }
+
+func ablationSpinBlock(h *harness) Table {
 	bench, _ := workload.ByName("vips")
 	budgets := []sim.Time{0, 20 * sim.Microsecond, 40 * sim.Microsecond, 120 * sim.Microsecond}
 	rows := [][]string{}
 	for _, b := range budgets {
-		van := spinBlockPoint(opt, bench, core.StrategyVanilla, b)
-		ple := spinBlockPoint(opt, bench, core.StrategyPLE, b)
+		van := spinBlockPointJob(h, bench, core.StrategyVanilla, b)
+		ple := spinBlockPointJob(h, bench, core.StrategyPLE, b)
 		rows = append(rows, []string{
 			b.String(),
 			fmt.Sprintf("%.2fs", van),
@@ -228,6 +264,14 @@ func AblationSpinBlock(opt Options) Table {
 		Columns: []string{"spin budget", "vanilla", "PLE", "PLE effect"},
 		Rows:    rows,
 	}
+}
+
+// spinBlockPointJob wraps one spin-budget cell as a harness job.
+func spinBlockPointJob(h *harness, bench workload.Benchmark, strat core.Strategy, budget sim.Time) float64 {
+	opt := h.opt
+	return jobAs(h, fmt.Sprintf("abspin|%s|%s", strat, budget), func() float64 {
+		return spinBlockPoint(opt, bench, strat, budget)
+	})
 }
 
 func spinBlockPoint(opt Options, bench workload.Benchmark, strat core.Strategy, budget sim.Time) float64 {
@@ -253,8 +297,9 @@ func spinBlockPoint(opt Options, bench workload.Benchmark, strat core.Strategy, 
 // with vanilla and IRS: gang slots eliminate LHP/LWP entirely, but a
 // blocking workload's idle waiters waste their reserved pCPUs (CPU
 // fragmentation), and the rigid rotation caps the VM at its slot share.
-func AblationStrictCo(opt Options) Table {
-	opt = opt.withDefaults()
+func AblationStrictCo(opt Options) Table { return runFigure(opt, ablationStrictCo) }
+
+func ablationStrictCo(h *harness) Table {
 	rows := [][]string{}
 	for _, c := range []struct {
 		name string
@@ -268,9 +313,9 @@ func AblationStrictCo(opt Options) Table {
 		if !ok {
 			continue
 		}
-		van := strictPoint(opt, bench, c.mode, core.StrategyVanilla)
-		co := strictPoint(opt, bench, c.mode, core.StrategyStrictCo)
-		irs := strictPoint(opt, bench, c.mode, core.StrategyIRS)
+		van := strictPointJob(h, bench, c.mode, core.StrategyVanilla)
+		co := strictPointJob(h, bench, c.mode, core.StrategyStrictCo)
+		irs := strictPointJob(h, bench, c.mode, core.StrategyIRS)
 		rows = append(rows, []string{
 			c.name,
 			fmt.Sprintf("%.2fs", van),
@@ -286,6 +331,15 @@ func AblationStrictCo(opt Options) Table {
 		Columns: []string{"benchmark", "vanilla", "strict-co", "IRS", "strict-co vs van", "IRS vs van"},
 		Rows:    rows,
 	}
+}
+
+// strictPointJob wraps one strict-co cell as a harness job.
+func strictPointJob(h *harness, bench workload.Benchmark, mode workload.SyncMode, strat core.Strategy) float64 {
+	opt := h.opt
+	key := fmt.Sprintf("abstrict|%s|%d|%s", bench.Name, mode, strat)
+	return jobAs(h, key, func() float64 {
+		return strictPoint(opt, bench, mode, strat)
+	})
 }
 
 func strictPoint(opt Options, bench workload.Benchmark, mode workload.SyncMode, strat core.Strategy) float64 {

@@ -88,43 +88,70 @@ func chaosScenario(seed uint64, rate float64, v chaosVariant, reg *obs.Registry)
 // throughput, never correctness, while unhardened runs stall outright
 // once wakeup loss strands an idle vCPU ("stalled" rows hit the
 // horizon with the benchmark unfinished).
-func Chaos(opt Options) Table {
-	opt = opt.withDefaults()
+func Chaos(opt Options) Table { return runFigure(opt, chaos) }
+
+// chaosRowOut is one rate×variant cell, rendered on the worker; errStr
+// is set when the run produced no result at all.
+type chaosRowOut struct {
+	row    []string
+	errStr string
+}
+
+func chaos(h *harness) Table {
 	t := Table{
 		ID:    "chaos",
 		Title: "Chaos sweep: fault.LossPlan rate vs strategy (streamcluster vs 1 hog)",
 		Columns: []string{"rate", "variant", "runtime", "SA sent/ack/exp/pend",
 			"fallbacks", "recovered", "injected", "violations"},
 	}
+	if _, ok := workload.ByName("streamcluster"); !ok {
+		return t
+	}
+	seed := h.opt.Seed
 	for _, rate := range chaosRates() {
 		for _, v := range chaosVariants() {
-			reg := obs.NewRegistry()
-			scn, ok := chaosScenario(opt.Seed, rate, v, reg)
-			if !ok {
-				return t
-			}
-			res, err := core.Run(scn)
-			if res == nil {
-				opt.Logf("chaos: %s @ %.0f%%: %v", v.name, rate*100, err)
+			rate, v := rate, v
+			out := jobAs(h, fmt.Sprintf("chaos|%.2f|%s", rate, v.name), func() chaosRowOut {
+				return chaosCell(seed, rate, v)
+			})
+			if out.errStr != "" {
+				h.opt.Logf("chaos: %s @ %.0f%%: %s", v.name, rate*100, out.errStr)
 				continue
 			}
-			runtime := "stalled"
-			if err == nil {
-				runtime = fmt.Sprintf("%.3fs", res.VM("fg").Runtime.Seconds())
+			if out.row != nil {
+				t.Rows = append(t.Rows, out.row)
 			}
-			k := res.VM("fg").Kernel
-			recovered := k.SADupSuppressed + k.MigratorRetried + k.WakePollRecoveries
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%.0f%%", rate*100),
-				v.name,
-				runtime,
-				fmt.Sprintf("%d/%d/%d/%d", res.SASent, res.SAAcked, res.SAExpired, res.SAPending),
-				fmt.Sprintf("%d", res.SAFallbacks),
-				fmt.Sprintf("%d", recovered),
-				fmt.Sprintf("%d", res.FaultsInjected),
-				fmt.Sprintf("%d", res.Violations),
-			})
 		}
 	}
 	return t
+}
+
+// chaosCell executes one rate×variant run and renders its row. Pure
+// function of its arguments; safe on worker goroutines.
+func chaosCell(seed uint64, rate float64, v chaosVariant) chaosRowOut {
+	reg := obs.NewRegistry()
+	scn, ok := chaosScenario(seed, rate, v, reg)
+	if !ok {
+		return chaosRowOut{errStr: "benchmark unavailable"}
+	}
+	res, err := core.Run(scn)
+	if res == nil {
+		return chaosRowOut{errStr: fmt.Sprintf("%v", err)}
+	}
+	runtime := "stalled"
+	if err == nil {
+		runtime = fmt.Sprintf("%.3fs", res.VM("fg").Runtime.Seconds())
+	}
+	k := res.VM("fg").Kernel
+	recovered := k.SADupSuppressed + k.MigratorRetried + k.WakePollRecoveries
+	return chaosRowOut{row: []string{
+		fmt.Sprintf("%.0f%%", rate*100),
+		v.name,
+		runtime,
+		fmt.Sprintf("%d/%d/%d/%d", res.SASent, res.SAAcked, res.SAExpired, res.SAPending),
+		fmt.Sprintf("%d", res.SAFallbacks),
+		fmt.Sprintf("%d", recovered),
+		fmt.Sprintf("%d", res.FaultsInjected),
+		fmt.Sprintf("%d", res.Violations),
+	}}
 }

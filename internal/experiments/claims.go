@@ -50,9 +50,9 @@ func Claims() []Claim {
 			Section:   "§1 Fig 1(b)",
 			Statement: "Guest process migration off a contended vCPU takes tens of ms, growing by roughly one scheduling delay per co-located VM.",
 			Check: func(h *harness) (string, bool) {
-				l1 := migrationLatency(h.opt, 1).Milliseconds()
-				l2 := migrationLatency(h.opt, 2).Milliseconds()
-				l3 := migrationLatency(h.opt, 3).Milliseconds()
+				l1 := migrationLatencyJob(h, 1).Milliseconds()
+				l2 := migrationLatencyJob(h, 2).Milliseconds()
+				l3 := migrationLatencyJob(h, 3).Milliseconds()
 				return fmt.Sprintf("%.1f / %.1f / %.1f ms", l1, l2, l3),
 					l1 >= 10 && l2 > l1 && l3 > l2
 			},
@@ -62,8 +62,8 @@ func Claims() []Claim {
 			Section:   "§2.3 Fig 2",
 			Statement: "Under interference, blocking workloads use well below their fair CPU share (deceptive idleness); raytrace stays near full share.",
 			Check: func(h *harness) (string, bool) {
-				sc := utilizationOf(h.opt, "streamcluster", 0)
-				rt := utilizationOf(h.opt, "raytrace", 0)
+				sc := utilizationOfJob(h, "streamcluster", 0)
+				rt := utilizationOfJob(h, "raytrace", 0)
 				return fmt.Sprintf("streamcluster %.2f, raytrace %.2f", sc, rt),
 					sc < 0.75 && rt > 0.8
 			},
@@ -161,17 +161,24 @@ func Claims() []Claim {
 			Section:   "§3.1, §4.1",
 			Statement: "SA processing adds only 20-26µs to each hypervisor preemption — negligible against ms-scale scheduling quanta.",
 			Check: func(h *harness) (string, bool) {
-				b, _ := workload.ByName("streamcluster")
-				fg := core.BenchmarkVM("fg", b, 0, 4, core.SeqPins(0, 4))
-				fg.IRS = true
-				res, err := core.Run(core.Scenario{
-					PCPUs: 4, Strategy: core.StrategyIRS, Seed: h.opt.Seed,
-					VMs: []core.VMSpec{fg, core.HogVM("bg", 2, core.SeqPins(0, 2))},
+				seed := h.opt.Seed
+				out := jobAs(h, "c12", func() claimRunOut {
+					b, _ := workload.ByName("streamcluster")
+					fg := core.BenchmarkVM("fg", b, 0, 4, core.SeqPins(0, 4))
+					fg.IRS = true
+					res, err := core.Run(core.Scenario{
+						PCPUs: 4, Strategy: core.StrategyIRS, Seed: seed,
+						VMs: []core.VMSpec{fg, core.HogVM("bg", 2, core.SeqPins(0, 2))},
+					})
+					if err != nil {
+						return claimRunOut{errStr: err.Error()}
+					}
+					return claimRunOut{val: res.SAMeanDelay.Microseconds()}
 				})
-				if err != nil {
-					return err.Error(), false
+				if out.errStr != "" {
+					return out.errStr, false
 				}
-				us := res.SAMeanDelay.Microseconds()
+				us := out.val
 				return fmt.Sprintf("mean %.0fµs", us), us >= 10 && us <= 40
 			},
 		},
@@ -180,20 +187,26 @@ func Claims() []Claim {
 			Section:   "§5.4",
 			Statement: "IRS does not compromise fairness: the foreground VM's CPU consumption never exceeds its fair share.",
 			Check: func(h *harness) (string, bool) {
-				b, _ := workload.ByName("UA")
-				fg := core.BenchmarkVM("fg", b, workload.SyncSpinning, 4, core.SeqPins(0, 4))
-				fg.IRS = true
-				res, err := core.Run(core.Scenario{
-					PCPUs: 4, Strategy: core.StrategyIRS, Seed: h.opt.Seed,
-					VMs: []core.VMSpec{fg, core.HogVM("bg", 2, core.SeqPins(0, 2))},
+				seed := h.opt.Seed
+				out := jobAs(h, "c13", func() claimRunOut {
+					b, _ := workload.ByName("UA")
+					fg := core.BenchmarkVM("fg", b, workload.SyncSpinning, 4, core.SeqPins(0, 4))
+					fg.IRS = true
+					res, err := core.Run(core.Scenario{
+						PCPUs: 4, Strategy: core.StrategyIRS, Seed: seed,
+						VMs: []core.VMSpec{fg, core.HogVM("bg", 2, core.SeqPins(0, 2))},
+					})
+					if err != nil {
+						return claimRunOut{errStr: err.Error()}
+					}
+					// Fair share: 2 shared pCPUs (1/2 each) + 2 exclusive.
+					fair := res.Elapsed + 2*res.Elapsed
+					return claimRunOut{val: core.Utilization(res, "fg", fair)}
 				})
-				if err != nil {
-					return err.Error(), false
+				if out.errStr != "" {
+					return out.errStr, false
 				}
-				// Fair share: 2 shared pCPUs (1/2 each) + 2 exclusive.
-				fair := res.Elapsed + 2*res.Elapsed
-				util := core.Utilization(res, "fg", fair)
-				return fmt.Sprintf("utilization %.2f of fair share", util), util <= 1.02
+				return fmt.Sprintf("utilization %.2f of fair share", out.val), out.val <= 1.02
 			},
 		},
 		{
@@ -202,8 +215,8 @@ func Claims() []Claim {
 			Statement: "IRS cuts multi-threaded server latency substantially (paper: up to 46%) even though such workloads have little synchronization.",
 			Check: func(h *harness) (string, bool) {
 				jbb, _ := serverSpecs()
-				vanT, vanL := serverPoint(h.opt, jbb, core.StrategyVanilla, 2, 0)
-				irsT, irsL := serverPoint(h.opt, jbb, core.StrategyIRS, 2, 0)
+				vanT, vanL := serverPointJob(h, jbb, core.StrategyVanilla, 2, 0)
+				irsT, irsL := serverPointJob(h, jbb, core.StrategyIRS, 2, 0)
 				latImp := metrics.Improvement(vanL, irsL)
 				thrImp := metrics.ThroughputImprovement(vanT, irsT)
 				return fmt.Sprintf("latency %.0f%%, throughput %.0f%%", latImp, thrImp),
@@ -247,9 +260,9 @@ func Claims() []Claim {
 					Iterations: 400, Work: 1 * sim.Millisecond, Imbalance: 0.1,
 					LocksPerIter: 6, CSLen: 150 * sim.Microsecond,
 				}
-				tas := ticketPoint(h.opt, spec, false, 1)
+				tas := ticketPointJob(h, spec, false, 1)
 				spec.TicketLock = true
-				fifo := ticketPoint(h.opt, spec, true, 1)
+				fifo := ticketPointJob(h, spec, true, 1)
 				r := fifo / tas
 				return fmt.Sprintf("ticket/TAS %.2fx", r), r >= 1.5
 			},
@@ -289,6 +302,22 @@ func slowdownOf(h *harness, name string, mode workload.SyncMode) float64 {
 	return inter.fgRuntime / alone.fgRuntime
 }
 
+// claimRunOut carries one claim measurement out of a worker; errStr is
+// non-empty when the underlying run failed (job results must be plain
+// data — Logf and error rendering happen during assembly).
+type claimRunOut struct {
+	val    float64
+	errStr string
+}
+
+// utilizationOfJob wraps utilizationOf as a harness job.
+func utilizationOfJob(h *harness, name string, mode workload.SyncMode) float64 {
+	opt := h.opt
+	return jobAs(h, fmt.Sprintf("util|%s|%d", name, mode), func() float64 {
+		return utilizationOf(opt, name, mode)
+	})
+}
+
 // utilizationOf measures fair-share utilization with one hog.
 func utilizationOf(opt Options, name string, mode workload.SyncMode) float64 {
 	b, ok := workload.ByName(name)
@@ -303,9 +332,13 @@ func utilizationOf(opt Options, name string, mode workload.SyncMode) float64 {
 	return core.Utilization(res, "fg", fair)
 }
 
-// EvaluateClaims runs every claim and renders the verdict table.
-func EvaluateClaims(opt Options) Table {
-	h := newHarness(opt)
+// EvaluateClaims runs every claim and renders the verdict table. Claim
+// checks are deterministic builders: the set of simulations they request
+// never depends on measured values, so the parallel harness can collect
+// the full job matrix up front and fan it out.
+func EvaluateClaims(opt Options) Table { return runFigure(opt, evaluateClaims) }
+
+func evaluateClaims(h *harness) Table {
 	var rows [][]string
 	for _, c := range Claims() {
 		got, ok := c.Check(h)

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -20,7 +21,15 @@ type Options struct {
 	// Runs per data point (the paper averages 5; default 3).
 	Runs int
 	Seed uint64
-	// Verbose emits progress lines via Logf.
+	// Workers bounds how many simulations run concurrently. 0 selects
+	// GOMAXPROCS (the parallel harness is on by default); 1 forces the
+	// serial harness. Tables are byte-identical either way: results are
+	// keyed and merged in canonical order and assembled by the same
+	// serial code path (see parallel.go).
+	Workers int
+	// Verbose emits progress lines via Logf. Logf is only ever called
+	// from the goroutine that invoked the experiment, never from
+	// workers.
 	Logf func(format string, args ...any)
 }
 
@@ -30,6 +39,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -154,14 +169,26 @@ type point struct {
 	err       error
 }
 
-// harness caches measurements so vanilla baselines are shared.
+// harness caches measurements so vanilla baselines are shared, and
+// carries the collect/execute/replay machinery of the parallel sweep
+// runner (parallel.go).
 type harness struct {
-	opt   Options
-	cache map[string]point
+	opt  Options
+	mode int // modeRun or modeCollect
+
+	cache   map[string]point // assembled per-setup points
+	results map[string]any   // memoized raw job results
+	seen    map[string]bool  // keys already collected
+	pending []pendingJob     // jobs awaiting the parallel phase
 }
 
 func newHarness(opt Options) *harness {
-	return &harness{opt: opt.withDefaults(), cache: make(map[string]point)}
+	return &harness{
+		opt:     opt.withDefaults(),
+		cache:   make(map[string]point),
+		results: make(map[string]any),
+		seen:    make(map[string]bool),
+	}
 }
 
 func (h *harness) key(s setup) string {
@@ -177,28 +204,63 @@ func interName(i interference) int {
 	return 0
 }
 
-// measure runs the setup opt.Runs times and averages.
+// runOutcome is the raw result of one simulated run of a setup; it is
+// what workers hand back to the assembly pass.
+type runOutcome struct {
+	fg  float64
+	bg  float64
+	err error
+}
+
+// runSetup executes one isolated simulation of s. It is a pure function
+// of (s, seed) and safe to call from worker goroutines.
+func runSetup(s setup, seed uint64) runOutcome {
+	res, err := core.Run(s.scenario(seed))
+	if err != nil {
+		return runOutcome{err: err}
+	}
+	out := runOutcome{fg: res.VM("fg").Runtime.Seconds()}
+	if bgr := res.VM("bg0"); bgr != nil && s.inter.kind == interBench {
+		if m := bgr.MeanRuntime; m > 0 {
+			out.bg = m.Seconds()
+		}
+	}
+	return out
+}
+
+// measure runs the setup opt.Runs times and averages. The individual
+// runs are jobs — fanned out by the parallel harness, executed inline
+// by the serial one — while the averaging below is always done here, in
+// run order, so both harnesses perform the identical float arithmetic.
 func (h *harness) measure(s setup) point {
 	k := h.key(s)
-	if p, ok := h.cache[k]; ok {
-		return p
+	if h.mode != modeCollect {
+		if p, ok := h.cache[k]; ok {
+			return p
+		}
+	}
+	outs := make([]runOutcome, h.opt.Runs)
+	for i := 0; i < h.opt.Runs; i++ {
+		seed := h.opt.Seed + uint64(i)*7919
+		outs[i] = jobAs(h, fmt.Sprintf("%s#%d", k, i), func() runOutcome {
+			return runSetup(s, seed)
+		})
+	}
+	if h.mode == modeCollect {
+		return point{}
 	}
 	var fg, bg []float64
 	var firstErr error
-	for i := 0; i < h.opt.Runs; i++ {
-		seed := h.opt.Seed + uint64(i)*7919
-		res, err := core.Run(s.scenario(seed))
-		if err != nil {
+	for _, o := range outs {
+		if o.err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%s: %w", k, err)
+				firstErr = fmt.Errorf("%s: %w", k, o.err)
 			}
 			continue
 		}
-		fg = append(fg, res.VM("fg").Runtime.Seconds())
-		if bgr := res.VM("bg0"); bgr != nil && s.inter.kind == interBench {
-			if m := bgr.MeanRuntime; m > 0 {
-				bg = append(bg, m.Seconds())
-			}
+		fg = append(fg, o.fg)
+		if o.bg > 0 {
+			bg = append(bg, o.bg)
 		}
 	}
 	p := point{err: firstErr}

@@ -13,8 +13,9 @@ import (
 // Fig1a reproduces Figure 1(a): the slowdown of ua (spinning),
 // raytrace (user-level work stealing) and fluidanimate (blocking) in a
 // 4-vCPU VM with one interfered vCPU, relative to running alone.
-func Fig1a(opt Options) Table {
-	h := newHarness(opt)
+func Fig1a(opt Options) Table { return runFigure(opt, fig1a) }
+
+func fig1a(h *harness) Table {
 	rows := [][]string{}
 	cases := []struct {
 		name string
@@ -51,11 +52,12 @@ func Fig1a(opt Options) Table {
 // a vCPU that suffers preemptions, as a function of how many
 // compute-bound VMs share the source pCPU (paper: 1 ms alone, then
 // 26.4/53.2/79.8 ms — one Xen scheduling delay per added VM).
-func Fig1b(opt Options) Table {
-	opt = opt.withDefaults()
+func Fig1b(opt Options) Table { return runFigure(opt, fig1b) }
+
+func fig1b(h *harness) Table {
 	rows := [][]string{}
 	for nVMs := 0; nVMs <= 3; nVMs++ {
-		lat := migrationLatency(opt, nVMs)
+		lat := migrationLatencyJob(h, nVMs)
 		label := "alone"
 		if nVMs > 0 {
 			label = fmt.Sprintf("%dVM", nVMs)
@@ -68,6 +70,15 @@ func Fig1b(opt Options) Table {
 		Columns: []string{"co-located VMs", "latency"},
 		Rows:    rows,
 	}
+}
+
+// migrationLatencyJob wraps one migrationLatency rig as a harness job
+// so Fig 1(b)'s four rigs (and claim C3's three) fan out in parallel.
+func migrationLatencyJob(h *harness, nVMs int) sim.Time {
+	opt := h.opt
+	return jobAs(h, fmt.Sprintf("fig1b|%d", nVMs), func() sim.Time {
+		return migrationLatency(opt, nVMs)
+	})
 }
 
 // migrationLatency builds the Fig 1(b) rig directly: a 2-vCPU VM with a

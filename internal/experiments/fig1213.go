@@ -39,8 +39,9 @@ func stackingPanel(h *harness, id, title string, suite []workload.Benchmark, mod
 // Fig12 reproduces Figure 12: NPB performance in response to CPU
 // stacking (spinning, unpinned, 4 hogs), plus the two real-application
 // interference panels.
-func Fig12(opt Options) Table {
-	h := newHarness(opt)
+func Fig12(opt Options) Table { return runFigure(opt, fig12) }
+
+func fig12(h *harness) Table {
 	lu, _ := workload.ByName("LU")
 	ua, _ := workload.ByName("UA")
 	panels := []Table{
@@ -55,8 +56,9 @@ func Fig12(opt Options) Table {
 
 // Fig13 reproduces Figure 13: PARSEC performance under CPU stacking
 // (blocking, deceptive idleness).
-func Fig13(opt Options) Table {
-	h := newHarness(opt)
+func Fig13(opt Options) Table { return runFigure(opt, fig13) }
+
+func fig13(h *harness) Table {
 	stream, _ := workload.ByName("streamcluster")
 	fluid, _ := workload.ByName("fluidanimate")
 	panels := []Table{
@@ -72,29 +74,45 @@ func Fig13(opt Options) Table {
 // SADelay reproduces the §3.1/§4.1 micro-measurement: the delay IRS
 // adds to each hypervisor preemption (paper: 20-26 µs), plus SA channel
 // statistics.
-func SADelay(opt Options) Table {
-	opt = opt.withDefaults()
-	bench, _ := workload.ByName("streamcluster")
-	fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
-	fg.IRS = true
-	scn := core.Scenario{
-		PCPUs:    4,
-		Strategy: core.StrategyIRS,
-		Seed:     opt.Seed,
-		VMs: []core.VMSpec{
-			fg,
-			core.HogVM("bg", 2, core.SeqPins(0, 2)),
-		},
-	}
-	res, err := core.Run(scn)
+func SADelay(opt Options) Table { return runFigure(opt, saDelay) }
+
+// saDelayOut carries the SA channel statistics of the one §3.1 run.
+type saDelayOut struct {
+	sent, acked, expired int64
+	mean, max            sim.Time
+	ok                   bool
+}
+
+func saDelay(h *harness) Table {
+	seed := h.opt.Seed
+	out := jobAs(h, "sadelay", func() saDelayOut {
+		bench, _ := workload.ByName("streamcluster")
+		fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
+		fg.IRS = true
+		scn := core.Scenario{
+			PCPUs:    4,
+			Strategy: core.StrategyIRS,
+			Seed:     seed,
+			VMs: []core.VMSpec{
+				fg,
+				core.HogVM("bg", 2, core.SeqPins(0, 2)),
+			},
+		}
+		res, err := core.Run(scn)
+		if err != nil {
+			return saDelayOut{}
+		}
+		return saDelayOut{sent: res.SASent, acked: res.SAAcked, expired: res.SAExpired,
+			mean: res.SAMeanDelay, max: res.SAMaxDelay, ok: true}
+	})
 	rows := [][]string{}
-	if err == nil {
+	if out.ok {
 		rows = append(rows,
-			[]string{"SA sent", itoa(res.SASent)},
-			[]string{"SA acked", itoa(res.SAAcked)},
-			[]string{"SA expired (hard limit)", itoa(res.SAExpired)},
-			[]string{"mean SA delay", res.SAMeanDelay.String()},
-			[]string{"max SA delay", res.SAMaxDelay.String()},
+			[]string{"SA sent", itoa(out.sent)},
+			[]string{"SA acked", itoa(out.acked)},
+			[]string{"SA expired (hard limit)", itoa(out.expired)},
+			[]string{"mean SA delay", out.mean.String()},
+			[]string{"max SA delay", out.max.String()},
 		)
 	}
 	return Table{

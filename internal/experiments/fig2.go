@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/workload"
@@ -12,8 +14,33 @@ import (
 // OMP_WAIT_POLICY=passive). Blocking workloads idle their vCPUs on
 // LHP/LWP and fall short of the fair share; raytrace's user-level load
 // balancing keeps utilization near 1.
-func Fig2(opt Options) Table {
-	opt = opt.withDefaults()
+func Fig2(opt Options) Table { return runFigure(opt, fig2) }
+
+// utilOut is one fair-share utilization measurement (ok false when the
+// run failed or was only collected).
+type utilOut struct {
+	util float64
+	ok   bool
+}
+
+// fig2Run measures run i of the Figure 2 scenario for one benchmark as
+// a harness job. Claim C4 shares run 0 through the same key.
+func fig2Run(h *harness, bench workload.Benchmark, mode workload.SyncMode, i int) utilOut {
+	seed := h.opt.Seed + uint64(i)*7919
+	return jobAs(h, fmt.Sprintf("fig2|%s|%d|%d", bench.Name, mode, i), func() utilOut {
+		res, err := core.Run(fig2Scenario(bench, mode, seed))
+		if err != nil {
+			return utilOut{}
+		}
+		elapsed := res.Elapsed
+		// Fair share: pCPU 0 is shared with the hog (1/2 each);
+		// pCPUs 1-3 belong to the parallel VM alone.
+		fair := elapsed/2 + 3*elapsed
+		return utilOut{util: core.Utilization(res, "fg", fair), ok: true}
+	})
+}
+
+func fig2(h *harness) Table {
 	rows := [][]string{}
 
 	parsecNames := []string{"streamcluster", "canneal", "fluidanimate", "bodytrack", "x264", "facesim", "blackscholes"}
@@ -25,17 +52,10 @@ func Fig2(opt Options) Table {
 			return
 		}
 		var utils []float64
-		for i := 0; i < opt.Runs; i++ {
-			scn := fig2Scenario(bench, mode, opt.Seed+uint64(i)*7919)
-			res, err := core.Run(scn)
-			if err != nil {
-				continue
+		for i := 0; i < h.opt.Runs; i++ {
+			if out := fig2Run(h, bench, mode, i); out.ok {
+				utils = append(utils, out.util)
 			}
-			elapsed := res.Elapsed
-			// Fair share: pCPU 0 is shared with the hog (1/2 each);
-			// pCPUs 1-3 belong to the parallel VM alone.
-			fair := elapsed/2 + 3*elapsed
-			utils = append(utils, core.Utilization(res, "fg", fair))
 		}
 		if len(utils) == 0 {
 			return

@@ -42,8 +42,9 @@ func improvementPanel(h *harness, id, title string, suite []workload.Benchmark, 
 
 // Fig5 reproduces Figure 5: PARSEC (blocking) improvement under
 // (a) CPU hogs, (b) streamcluster, (c) fluidanimate interference.
-func Fig5(opt Options) Table {
-	h := newHarness(opt)
+func Fig5(opt Options) Table { return runFigure(opt, fig5) }
+
+func fig5(h *harness) Table {
 	stream, _ := workload.ByName("streamcluster")
 	fluid, _ := workload.ByName("fluidanimate")
 	panels := []Table{
@@ -58,8 +59,9 @@ func Fig5(opt Options) Table {
 
 // Fig6 reproduces Figure 6: NPB (spinning) improvement under
 // (a) CPU hogs, (b) UA, (c) LU interference.
-func Fig6(opt Options) Table {
-	h := newHarness(opt)
+func Fig6(opt Options) Table { return runFigure(opt, fig6) }
+
+func fig6(h *harness) Table {
 	ua, _ := workload.ByName("UA")
 	lu, _ := workload.ByName("LU")
 	panels := []Table{

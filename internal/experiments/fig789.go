@@ -39,8 +39,9 @@ func weightedPanel(h *harness, id, title string, suite []workload.Benchmark, mod
 
 // Fig7 reproduces Figure 7: weighted speedup of two consolidated
 // PARSEC applications (higher is better, 1.0 = vanilla).
-func Fig7(opt Options) Table {
-	h := newHarness(opt)
+func Fig7(opt Options) Table { return runFigure(opt, fig7) }
+
+func fig7(h *harness) Table {
 	fluid, _ := workload.ByName("fluidanimate")
 	stream, _ := workload.ByName("streamcluster")
 	panels := []Table{
@@ -51,8 +52,9 @@ func Fig7(opt Options) Table {
 }
 
 // Fig9 reproduces Figure 9: weighted speedup for NPB applications.
-func Fig9(opt Options) Table {
-	h := newHarness(opt)
+func Fig9(opt Options) Table { return runFigure(opt, fig9) }
+
+func fig9(h *harness) Table {
 	lu, _ := workload.ByName("LU")
 	ua, _ := workload.ByName("UA")
 	panels := []Table{
@@ -86,8 +88,9 @@ func serverSpecs() (jbb, ab workload.ServerSpec) {
 // Fig8 reproduces Figure 8: throughput and latency improvement of
 // SPECjbb (mean new-order latency) and ab (99th percentile) under IRS
 // with 1-4 CPU hogs.
-func Fig8(opt Options) Table {
-	opt = opt.withDefaults()
+func Fig8(opt Options) Table { return runFigure(opt, fig8) }
+
+func fig8(h *harness) Table {
 	jbbSpec, abSpec := serverSpecs()
 	var rows [][]string
 	for _, c := range []struct {
@@ -99,8 +102,8 @@ func Fig8(opt Options) Table {
 		{abSpec, 99, "ab (99th)"},
 	} {
 		for inter := 1; inter <= 4; inter++ {
-			vanT, vanL := serverPoint(opt, c.spec, core.StrategyVanilla, inter, c.pctl)
-			irsT, irsL := serverPoint(opt, c.spec, core.StrategyIRS, inter, c.pctl)
+			vanT, vanL := serverPointJob(h, c.spec, core.StrategyVanilla, inter, c.pctl)
+			irsT, irsL := serverPointJob(h, c.spec, core.StrategyIRS, inter, c.pctl)
 			rows = append(rows, []string{
 				c.tag, fmt.Sprintf("%d-inter", inter),
 				pct(metrics.ThroughputImprovement(vanT, irsT)),
@@ -114,6 +117,23 @@ func Fig8(opt Options) Table {
 		Columns: []string{"server", "interference", "throughput", "latency"},
 		Rows:    rows,
 	}
+}
+
+// serverOut carries one server data point between workers and assembly.
+type serverOut struct {
+	thr, lat float64
+}
+
+// serverPointJob wraps serverPoint as a harness job, one job per
+// (spec, strategy, interference, percentile) point.
+func serverPointJob(h *harness, spec workload.ServerSpec, strat core.Strategy, inter int, pctl float64) (float64, float64) {
+	opt := h.opt
+	key := fmt.Sprintf("server|%s|%s|%d|%.0f", spec.Name, strat, inter, pctl)
+	out := jobAs(h, key, func() serverOut {
+		thr, lat := serverPoint(opt, spec, strat, inter, pctl)
+		return serverOut{thr: thr, lat: lat}
+	})
+	return out.thr, out.lat
 }
 
 // serverPoint measures a server benchmark: returns (throughput req/s,

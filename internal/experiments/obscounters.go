@@ -16,8 +16,17 @@ import (
 // trips, LHP/LWP events, and IRS migrations. The scenario is the §5.1
 // single-benchmark setup: streamcluster on 4 pinned vCPUs against one
 // CPU hog on pCPU 0.
-func ObsCounters(opt Options) Table {
-	opt = opt.withDefaults()
+func ObsCounters(opt Options) Table { return runFigure(opt, obsCounters) }
+
+// obsRowOut is one strategy's fully-rendered counter row; errStr is set
+// when the run failed. Workers hand back plain data so Logf stays on
+// the assembling goroutine.
+type obsRowOut struct {
+	row    []string
+	errStr string
+}
+
+func obsCounters(h *harness) Table {
 	t := Table{
 		ID:    "obs",
 		Title: "Telemetry counters, streamcluster vs 1 hog (registry-measured)",
@@ -28,46 +37,62 @@ func ObsCounters(opt Options) Table {
 	if !ok {
 		return t
 	}
+	seed := h.opt.Seed
 	for _, strat := range append(core.Strategies(), core.StrategyStrictCo) {
-		reg := obs.NewRegistry()
-		fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
-		fg.IRS = strat == core.StrategyIRS
-		scn := core.Scenario{
-			PCPUs:    4,
-			Strategy: strat,
-			Seed:     opt.Seed,
-			VMs:      []core.VMSpec{fg, core.HogVM("bg", 1, core.SeqPins(0, 1))},
-			Metrics:  reg,
-		}
-		res, err := core.Run(scn)
-		if err != nil {
-			opt.Logf("obs: %s failed: %v", strat, err)
+		strat := strat
+		out := jobAs(h, fmt.Sprintf("obs|%s", strat), func() obsRowOut {
+			return obsRow(bench, strat, seed)
+		})
+		if out.errStr != "" {
+			h.opt.Logf("obs: %s failed: %s", strat, out.errStr)
 			continue
 		}
-		fgL := obs.Labels{Sub: "hv", VM: "fg"}
-		wait := reg.FindHistogram("hv_preempt_wait_ns", fgL)
-		ack := reg.FindHistogram("hv_sa_ack_ns", fgL)
-		preempts := int64(0)
-		for _, v := range res.VM("fg").Kernel.VM().VCPUs {
-			preempts += obs.CounterValue(reg, "hv_preemptions_total",
-				obs.Labels{Sub: "hv", VM: "fg", CPU: v.Name()})
+		if out.row != nil {
+			t.Rows = append(t.Rows, out.row)
 		}
-		t.Rows = append(t.Rows, []string{
-			strat.String(),
-			fmt.Sprintf("%.3fs", res.VM("fg").Runtime.Seconds()),
-			fmt.Sprintf("%.3fs", res.VM("fg").StealTime.Seconds()),
-			fmt.Sprintf("%.1fms", wait.Percentile(95).Milliseconds()),
-			fmt.Sprintf("%d", preempts),
-			fmt.Sprintf("%.1fµs", ack.Percentile(95).Microseconds()),
-			fmt.Sprintf("%d/%d/%d",
-				obs.CounterValue(reg, "hv_sa_sent_total", fgL),
-				obs.CounterValue(reg, "hv_sa_acked_total", fgL),
-				obs.CounterValue(reg, "hv_sa_expired_total", fgL)),
-			fmt.Sprintf("%d", obs.CounterValue(reg, "hv_lhp_total", fgL)),
-			fmt.Sprintf("%d", obs.CounterValue(reg, "hv_lwp_total", fgL)),
-			fmt.Sprintf("%d", obs.CounterValue(reg, "guest_task_migrations_total",
-				obs.Labels{Sub: "guest", VM: "fg"})),
-		})
 	}
 	return t
+}
+
+// obsRow executes one strategy's instrumented run and renders its row.
+// Pure function of its arguments; safe on worker goroutines.
+func obsRow(bench workload.Benchmark, strat core.Strategy, seed uint64) obsRowOut {
+	reg := obs.NewRegistry()
+	fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
+	fg.IRS = strat == core.StrategyIRS
+	scn := core.Scenario{
+		PCPUs:    4,
+		Strategy: strat,
+		Seed:     seed,
+		VMs:      []core.VMSpec{fg, core.HogVM("bg", 1, core.SeqPins(0, 1))},
+		Metrics:  reg,
+	}
+	res, err := core.Run(scn)
+	if err != nil {
+		return obsRowOut{errStr: err.Error()}
+	}
+	fgL := obs.Labels{Sub: "hv", VM: "fg"}
+	wait := reg.FindHistogram("hv_preempt_wait_ns", fgL)
+	ack := reg.FindHistogram("hv_sa_ack_ns", fgL)
+	preempts := int64(0)
+	for _, v := range res.VM("fg").Kernel.VM().VCPUs {
+		preempts += obs.CounterValue(reg, "hv_preemptions_total",
+			obs.Labels{Sub: "hv", VM: "fg", CPU: v.Name()})
+	}
+	return obsRowOut{row: []string{
+		strat.String(),
+		fmt.Sprintf("%.3fs", res.VM("fg").Runtime.Seconds()),
+		fmt.Sprintf("%.3fs", res.VM("fg").StealTime.Seconds()),
+		fmt.Sprintf("%.1fms", wait.Percentile(95).Milliseconds()),
+		fmt.Sprintf("%d", preempts),
+		fmt.Sprintf("%.1fµs", ack.Percentile(95).Microseconds()),
+		fmt.Sprintf("%d/%d/%d",
+			obs.CounterValue(reg, "hv_sa_sent_total", fgL),
+			obs.CounterValue(reg, "hv_sa_acked_total", fgL),
+			obs.CounterValue(reg, "hv_sa_expired_total", fgL)),
+		fmt.Sprintf("%d", obs.CounterValue(reg, "hv_lhp_total", fgL)),
+		fmt.Sprintf("%d", obs.CounterValue(reg, "hv_lwp_total", fgL)),
+		fmt.Sprintf("%d", obs.CounterValue(reg, "guest_task_migrations_total",
+			obs.Labels{Sub: "guest", VM: "fg"})),
+	}}
 }

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"sync"
+)
+
+// Parallel sweep runner. Every simulation in this package is an
+// isolated deterministic engine, so a figure's full (setup × strategy ×
+// seed) matrix can fan out across worker goroutines — as long as the
+// *assembly* of results into a table stays serial and deterministic.
+//
+// The harness achieves that with a collect/execute/replay scheme:
+//
+//  1. collect: the figure's build function runs once with every job
+//     request recorded (and zero values returned). Builders are
+//     deterministic and never branch on measured values when deciding
+//     *what* to measure, so this pass discovers the complete job set.
+//  2. execute: the recorded jobs fan out across Options.Workers
+//     goroutines. Completed results stream through a bounded channel
+//     and are merged under their canonical keys, so memory stays
+//     bounded by the number of distinct points plus the worker count,
+//     and completion order cannot influence anything.
+//  3. replay: the build function runs again. Every job request now
+//     hits the memoized result, and the table is assembled by exactly
+//     the code the serial harness runs — byte-identical output.
+//
+// Serial mode (Workers == 1) skips straight to a single build pass in
+// which each job executes inline at first request; the memoization and
+// assembly paths are shared, which is what the determinism test pins.
+//
+// Job closures run on worker goroutines: they must be self-contained
+// simulations (core.Run or a private engine) and must not touch the
+// harness, the options, or any shared mutable state.
+
+// harness execution modes.
+const (
+	modeRun     = iota // execute jobs inline (or hit memoized results)
+	modeCollect        // record job requests, return zero values
+)
+
+// pendingJob is one recorded simulation, keyed canonically.
+type pendingJob struct {
+	key string
+	fn  func() any
+}
+
+// job returns the memoized result for key, computing it with fn on the
+// first request. In collect mode it records the job for the parallel
+// phase and returns nil.
+func (h *harness) job(key string, fn func() any) any {
+	if h.mode == modeCollect {
+		if !h.seen[key] {
+			h.seen[key] = true
+			h.pending = append(h.pending, pendingJob{key: key, fn: fn})
+		}
+		return nil
+	}
+	if v, ok := h.results[key]; ok {
+		return v
+	}
+	v := fn()
+	h.results[key] = v
+	return v
+}
+
+// jobAs is job with a typed result; collect mode yields the zero value.
+func jobAs[T any](h *harness, key string, fn func() T) T {
+	v := h.job(key, func() any { return fn() })
+	if v == nil {
+		var zero T
+		return zero
+	}
+	return v.(T)
+}
+
+// runPending executes every collected job across the worker pool and
+// merges the streamed results under their canonical keys.
+func (h *harness) runPending() {
+	jobs := h.pending
+	h.pending = nil
+	workers := h.opt.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			h.results[j.key] = j.fn()
+		}
+		return
+	}
+	type jobResult struct {
+		i int
+		v any
+	}
+	feed := make(chan int)
+	done := make(chan jobResult, workers) // bounded result stream
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				done <- jobResult{i: i, v: jobs[i].fn()}
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			feed <- i
+		}
+		close(feed)
+		wg.Wait()
+		close(done)
+	}()
+	// Merge in completion order; the canonical key makes the merge
+	// order irrelevant to the replayed assembly.
+	for r := range done {
+		h.results[jobs[r.i].key] = r.v
+	}
+}
+
+// runFigure executes one figure build through the harness: serially
+// when Workers == 1, otherwise via collect → parallel execute → replay.
+func runFigure(opt Options, build func(*harness) Table) Table {
+	h := newHarness(opt)
+	if h.opt.Workers <= 1 {
+		return build(h)
+	}
+	h.mode = modeCollect
+	_ = build(h)
+	h.mode = modeRun
+	h.runPending()
+	return build(h)
+}
+
+// ParallelDo runs the given independent functions across at most
+// workers goroutines and returns when all have completed. It is the
+// fan-out primitive cmd/irsweep shares with the harness for ad-hoc
+// sweeps that do not go through figure tables.
+func ParallelDo(workers int, fns []func()) {
+	if workers > len(fns) {
+		workers = len(fns)
+	}
+	if workers <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	feed := make(chan func())
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fn := range feed {
+				fn()
+			}
+		}()
+	}
+	for _, fn := range fns {
+		feed <- fn
+	}
+	close(feed)
+	wg.Wait()
+}

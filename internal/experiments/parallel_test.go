@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+)
+
+// detOpt builds the shared options of the determinism tests. Workers
+// is set explicitly: Workers == 0 would resolve to GOMAXPROCS, which
+// on a single-CPU machine silently degrades to the serial path and
+// tests nothing.
+func detOpt(workers int) Options {
+	return Options{Runs: 1, Seed: 11, Workers: workers}
+}
+
+// determinismCases picks cheap but structurally diverse builders:
+// measure-based figures (fig1a), direct-rig jobs (fig1b), per-run jobs
+// (fig2), multi-value jobs (fig8, sadelay), whole-point jobs
+// (ab-salimit, ab-ticket), row-rendering workers (obs, chaos), and the
+// claim matrix with its job-sharing across checks.
+func determinismCases() map[string]func(Options) Table {
+	return map[string]func(Options) Table{
+		"fig1a":      Fig1a,
+		"fig1b":      Fig1b,
+		"fig2":       Fig2,
+		"fig8":       Fig8,
+		"sadelay":    SADelay,
+		"ab-salimit": AblationSALimit,
+		"ab-ticket":  AblationTicketLock,
+		"obs":        ObsCounters,
+		"chaos":      Chaos,
+		"claims":     EvaluateClaims,
+	}
+}
+
+// TestParallelMatchesSerial pins the harness's core guarantee: the
+// parallel collect/execute/replay path renders byte-identical tables to
+// the serial path, and two parallel runs (with different worker counts,
+// hence different completion orders) are identical to each other.
+func TestParallelMatchesSerial(t *testing.T) {
+	cases := determinismCases()
+	ids := make([]string, 0, len(cases))
+	for id := range cases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fn := cases[id]
+		t.Run(id, func(t *testing.T) {
+			serial := fn(detOpt(1)).String()
+			par4 := fn(detOpt(4)).String()
+			par3 := fn(detOpt(3)).String()
+			if par4 != serial {
+				t.Errorf("parallel (4 workers) output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par4)
+			}
+			if par3 != par4 {
+				t.Errorf("parallel runs differ between worker counts:\n--- 4 workers ---\n%s--- 3 workers ---\n%s", par4, par3)
+			}
+		})
+	}
+}
+
+// TestAllParallelMatchesSerial runs the full paper-figure set both ways
+// and compares the concatenated renderings byte for byte. Expensive
+// (about two serial `irsim -runs 1 all` passes), so -short skips it;
+// the subset test above covers every job shape on every run.
+func TestAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full experiments.All determinism sweep in -short mode")
+	}
+	render := func(tables []Table) string {
+		var s string
+		for _, tb := range tables {
+			s += tb.String() + "\n"
+		}
+		return s
+	}
+	serial := render(All(detOpt(1)))
+	par := render(All(detOpt(4)))
+	if par != serial {
+		t.Errorf("experiments.All parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+	}
+}

@@ -47,15 +47,15 @@ func TestParsePlanFields(t *testing.T) {
 
 func TestParsePlanErrors(t *testing.T) {
 	for _, spec := range []string{
-		"drop-sa",             // not key=value
-		"bogus=1",             // unknown key
-		"drop-sa=1.5",         // probability out of range
-		"drop-sa=x",           // bad float
-		"delay-sa=zz",         // bad duration
-		"delay-sa=-5us",       // negative duration
+		"drop-sa",                 // not key=value
+		"bogus=1",                 // unknown key
+		"drop-sa=1.5",             // probability out of range
+		"drop-sa=x",               // bad float
+		"delay-sa=zz",             // bad duration
+		"delay-sa=-5us",           // negative duration
 		"drop-sa=0.1,drop-sa=0.2", // duplicate key
-		"blackout-every=1ms",  // blackout period without duration
-		"stall-p=0.5",         // stall probability without duration
+		"blackout-every=1ms",      // blackout period without duration
+		"stall-p=0.5",             // stall probability without duration
 	} {
 		if _, err := ParsePlan(spec); err == nil {
 			t.Errorf("ParsePlan(%q) succeeded, want error", spec)

@@ -25,7 +25,7 @@ type CPU struct {
 	curStart  sim.Time
 	// completion fires when the current compute segment finishes; nil
 	// while spinning (spins end by grant, not by time).
-	completion *sim.Event
+	completion sim.EventRef
 	// execGen invalidates in-flight deferred work across suspends.
 	execGen uint64
 
@@ -210,17 +210,17 @@ func (c *CPU) bankCur() {
 	t.vruntime += elapsed
 	t.lastRun = now
 	c.sliceUsed += elapsed
-	if c.completion != nil {
+	if !c.completion.Cancelled() {
 		t.segRemaining -= elapsed
 		if t.segRemaining < 0 {
 			t.segRemaining = 0
 		}
 		c.kern.eng.Cancel(c.completion)
-		c.completion = nil
+		c.completion = sim.EventRef{}
 	} else if t.spin != nil {
 		t.spin.spent += elapsed
 		c.kern.eng.Cancel(t.spin.timeoutEv)
-		t.spin.timeoutEv = nil
+		t.spin.timeoutEv = sim.EventRef{}
 	}
 	c.executing = false
 }
@@ -313,7 +313,7 @@ func (c *CPU) startCur() {
 			if c.cur != t {
 				return
 			}
-			c.completion = nil
+			c.completion = sim.EventRef{}
 			c.bankCur()
 			t.segRemaining = 0
 			t.segDone = nil
@@ -338,7 +338,7 @@ func (c *CPU) startCur() {
 // endSpin clears a consumed or abandoned spin wait.
 func (c *CPU) endSpin(t *Task, sw *spinWait) {
 	c.kern.eng.Cancel(sw.timeoutEv)
-	sw.timeoutEv = nil
+	sw.timeoutEv = sim.EventRef{}
 	t.spin = nil
 	t.WaitingLock = false
 	c.kern.hv.SpinEnd(c.vcpu)

@@ -97,7 +97,7 @@ type spinWait struct {
 	budget    sim.Time
 	spent     sim.Time
 	onTimeout func()
-	timeoutEv *sim.Event
+	timeoutEv sim.EventRef
 }
 
 // Task is a guest thread.

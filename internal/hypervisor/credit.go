@@ -363,7 +363,7 @@ func (h *Hypervisor) saFail(v *VCPU) {
 		v.VM.mSABreaker.Inc()
 	}
 	h.eng.Cancel(v.saDeadline)
-	v.saDeadline = nil
+	v.saDeadline = sim.EventRef{}
 	v.saPending = false
 }
 
@@ -382,7 +382,7 @@ func (h *Hypervisor) completeSA(v *VCPU, disposition RunState) {
 	v.VM.mSAAcked.Inc()
 	v.VM.mSAAck.Observe(delay)
 	h.eng.Cancel(v.saDeadline)
-	v.saDeadline = nil
+	v.saDeadline = sim.EventRef{}
 	v.saPending = false
 	p.saWait = false
 	if tl := h.cfg.Trace; tl != nil {
@@ -414,7 +414,7 @@ func (h *Hypervisor) deschedule(p *PCPU, disposition RunState, involuntary bool)
 	}
 	v.ctx.Suspend()
 	h.eng.Cancel(p.sliceEnd)
-	p.sliceEnd = nil
+	p.sliceEnd = sim.EventRef{}
 	h.stopPLEWindow(v)
 	p.current = nil
 	p.idleSince = now

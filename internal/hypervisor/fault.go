@@ -127,7 +127,7 @@ func (h *Hypervisor) AuditInvariants(report func(rule, detail string)) {
 				report("credit-bounds", fmt.Sprintf("%s credits %d outside [%d, %d]",
 					v.Name(), v.credits, creditFloor, creditCap))
 			}
-			if v.saPending && v.saDeadline == nil {
+			if v.saPending && v.saDeadline.Cancelled() {
 				report("sa-accounting", fmt.Sprintf("%s has an open SA with no deadline", v.Name()))
 			}
 		}

@@ -125,7 +125,7 @@ func (h *Hypervisor) SetTimer(v *VCPU, at sim.Time) {
 	}
 	v.timerAt = at
 	v.timer = h.eng.At(at, "xen-timer-"+v.Name(), func() {
-		v.timer = nil
+		v.timer = sim.EventRef{}
 		h.SendIRQ(v, IRQTimer)
 	})
 }
@@ -133,7 +133,7 @@ func (h *Hypervisor) SetTimer(v *VCPU, at sim.Time) {
 // StopTimer cancels the pending one-shot timer, if any.
 func (h *Hypervisor) StopTimer(v *VCPU) {
 	h.eng.Cancel(v.timer)
-	v.timer = nil
+	v.timer = sim.EventRef{}
 }
 
 // Kick sends an event-channel notification to a sibling vCPU (the

@@ -16,7 +16,7 @@ type PCPU struct {
 	current *VCPU
 	runq    []*VCPU
 
-	sliceEnd *sim.Event // end of the current 30 ms timeslice
+	sliceEnd sim.EventRef // end of the current 30 ms timeslice
 
 	// saWait is set while the pCPU stalls a preemption waiting for the
 	// guest to acknowledge a scheduler activation.

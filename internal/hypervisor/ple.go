@@ -1,5 +1,7 @@
 package hypervisor
 
+import "repro/internal/sim"
+
 // Pause-loop exiting (PLE). Real hardware counts PAUSE instructions in
 // a tight loop and raises a VM-exit when a vCPU spins too long; Xen's
 // handler then yields the vCPU. The simulated guest reports when the
@@ -29,7 +31,7 @@ func (h *Hypervisor) SpinEnd(v *VCPU) {
 	}
 	v.spinningSince = 0
 	h.eng.Cancel(v.pleEvent)
-	v.pleEvent = nil
+	v.pleEvent = sim.EventRef{}
 }
 
 // stopPLEWindow is invoked from deschedule: the window only measures
@@ -56,7 +58,7 @@ func (h *Hypervisor) pleExit(v *VCPU) {
 		return
 	}
 	v.spinningSince = 0
-	v.pleEvent = nil
+	v.pleEvent = sim.EventRef{}
 	v.yieldHint = true
 	h.pleYields++
 	h.mPLEYields.Inc()

@@ -123,9 +123,9 @@ type VCPU struct {
 
 	sliceStart sim.Time // when the vCPU was last put on a pCPU
 
-	saPending  bool       // an SA notification awaits guest acknowledgement
-	saSentAt   sim.Time   // when the pending SA was sent
-	saDeadline *sim.Event // hard limit for SA completion
+	saPending  bool         // an SA notification awaits guest acknowledgement
+	saSentAt   sim.Time     // when the pending SA was sent
+	saDeadline sim.EventRef // hard limit for SA completion
 
 	// Circuit-breaker state (cfg.SABreakerN): consecutive hard-limit
 	// expiries without an intervening ack, and when the breaker opened.
@@ -136,13 +136,13 @@ type VCPU struct {
 	startedAt sim.Time // when the vCPU came online
 
 	pendingIRQ []IRQ
-	timer      *sim.Event // one-shot guest timer
+	timer      sim.EventRef // one-shot guest timer
 	timerAt    sim.Time
 
 	yieldHint bool // vCPU yielded; enqueue behind peers of same class
 
-	spinningSince sim.Time   // PLE: when continuous spinning began (0 = not spinning)
-	pleEvent      *sim.Event // PLE window expiry
+	spinningSince sim.Time     // PLE: when continuous spinning began (0 = not spinning)
+	pleEvent      sim.EventRef // PLE window expiry
 
 	parkedUntil sim.Time // relaxed-co: vCPU must not run before this time
 	// parkCatchRef/parkCatchTarget release the park early once the

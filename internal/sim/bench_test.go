@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Engine hot-path microbenchmarks. These are the numbers the Makefile's
+// bench target snapshots into BENCH_3.json and that bench-compare gates
+// against: ns/op and allocs/op for schedule→fire, cancel, periodic
+// re-arm, and a mixed churn workload approximating a simulation run.
+
+// BenchmarkScheduleFire measures one-shot schedule + dispatch: the
+// dominant engine operation in a simulation (every guest segment,
+// timer, and SA round trip is at least one of these).
+func BenchmarkScheduleFire(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, "bench", fn)
+		eng.Step()
+	}
+	b.ReportMetric(float64(eng.Fired())*1e9/float64(b.Elapsed().Nanoseconds()+1), "events/sec")
+}
+
+// BenchmarkScheduleCancel measures schedule + cancel without firing:
+// the defensive-timer pattern (slice timers, PLE windows, SA deadlines
+// are mostly cancelled before they fire).
+func BenchmarkScheduleCancel(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := eng.After(1, "bench", fn)
+		eng.Cancel(ev)
+	}
+}
+
+// BenchmarkPeriodicFire measures the periodic re-arm path (ticks,
+// accounting, audits).
+func BenchmarkPeriodicFire(b *testing.B) {
+	eng := NewEngine()
+	eng.Every(1, "tick", func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineChurn approximates a simulation's queue profile: a
+// standing population of pending events with a mix of one-shot fires,
+// cancellations, and periodic timers.
+func BenchmarkEngineChurn(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	rng := NewRNG(1)
+	// Standing population of 256 pending one-shots.
+	for i := 0; i < 256; i++ {
+		eng.After(Time(rng.Intn(1000)+1), "pop", fn)
+	}
+	eng.Every(64, "tick", func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := eng.After(Time(rng.Intn(1000)+1), "churn", fn)
+		if i%4 == 0 {
+			eng.Cancel(ev)
+		}
+		eng.Step()
+	}
+}

@@ -60,7 +60,30 @@ func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
 	ev := eng.At(5, "e", func() {})
 	eng.Cancel(ev)
 	eng.Cancel(ev)
-	eng.Cancel(nil)
+	eng.Cancel(EventRef{})
+}
+
+// TestStaleHandleCannotCancelRecycledEvent pins down the safety
+// contract of the free-list pool: once an event fires, its handle goes
+// stale, and cancelling it must not touch whatever event has since
+// reused the underlying object.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	eng := NewEngine()
+	stale := eng.At(1, "first", func() {})
+	eng.Step() // fires "first"; its object returns to the free list
+	fired := false
+	fresh := eng.At(5, "second", func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Skip("pool did not reuse the object; nothing to verify")
+	}
+	eng.Cancel(stale) // stale generation: must be a no-op
+	if fresh.Cancelled() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	_ = eng.Run(10)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
 }
 
 func TestPeriodicEventReArmsAndCancels(t *testing.T) {
@@ -78,7 +101,7 @@ func TestPeriodicEventReArmsAndCancels(t *testing.T) {
 func TestPeriodicCancelFromOwnCallback(t *testing.T) {
 	eng := NewEngine()
 	count := 0
-	var ev *Event
+	var ev EventRef
 	ev = eng.Every(10, "tick", func() {
 		count++
 		if count == 3 {
@@ -215,7 +238,7 @@ func TestQuickEventOrdering(t *testing.T) {
 func TestQuickCancelSubset(t *testing.T) {
 	f := func(delays []uint8, mask []bool) bool {
 		eng := NewEngine()
-		events := make([]*Event, len(delays))
+		events := make([]EventRef, len(delays))
 		fired := make([]bool, len(delays))
 		for i, d := range delays {
 			i := i
@@ -269,10 +292,10 @@ func TestOnViolationReportsInsteadOfPanicking(t *testing.T) {
 		// Scheduling in the past is clamped to now and still fires.
 		eng.At(5, "past", func() { fired = true })
 	})
-	if ev := eng.Every(0, "bad-period", func() {}); ev != nil {
+	if ev := eng.Every(0, "bad-period", func() {}); ev != (EventRef{}) {
 		t.Fatal("non-positive period returned an event")
 	}
-	eng.Cancel(nil) // the nil return must be safe to cancel
+	eng.Cancel(EventRef{}) // the zero return must be safe to cancel
 	if err := eng.Run(20); err != nil && !errors.Is(err, ErrDeadlock) {
 		t.Fatal(err)
 	}
