@@ -8,9 +8,9 @@ GO ?= go
 # cmd/benchjson and DESIGN.md §9).
 BENCH_SNAPSHOT ?= BENCH_3.json
 
-.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover
 
-check: build vet race
+check: build vet race examples
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,24 @@ fuzz-smoke:
 # Robustness sweep: fault rates vs strategies with invariant audits.
 chaos:
 	$(GO) run ./cmd/irsim -runs 1 chaos
+
+# Compile and run every example end to end (each also has a unit test
+# exercising its run() body, picked up by `make test`).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/server
+	$(GO) run ./examples/parsec
+	$(GO) run ./examples/stacking
+
+# Coverage gate: statement coverage over internal/ must stay at or
+# above COVER_MIN (baseline measured at ~91%).
+COVER_MIN ?= 85.0
+
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/... ./...
+	@$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	 rm -f cover.out; \
+	 awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
+	   if (t+0 < min+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, min; exit 1 } \
+	   printf "OK: coverage %.1f%% >= floor %.1f%%\n", t, min }'

@@ -6,12 +6,18 @@
 //	irsim [-runs N] [-seed S] [-parallel] [-workers N] [-v] list
 //	irsim [-runs N] [-seed S] [-v] all
 //	irsim [-runs N] [-seed S] [-v] fig5 fig6 ...
+//	irsim [-experiment cluster] [-runs N] [-seed S]
 //	irsim [-cpuprofile cpu.pprof] [-memprofile mem.pprof] all
+//
+// Tables go to stdout and are byte-identical for a given seed (wall
+// times and progress go to stderr), so output can be diffed across
+// runs and against the golden corpus.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,34 +28,40 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("irsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	runs := fs.Int("runs", 3, "simulated runs per data point (paper: 5)")
 	seed := fs.Uint64("seed", 1, "base random seed")
 	verbose := fs.Bool("v", false, "log each measurement")
 	parallel := fs.Bool("parallel", true, "fan each figure's simulation matrix across worker goroutines")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	experiment := fs.String("experiment", "", "experiment id to run (alias for the positional form)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if fs.NArg() == 0 {
-		usage(fs)
+	ids := fs.Args()
+	if *experiment != "" {
+		ids = append([]string{*experiment}, ids...)
+	}
+	if len(ids) == 0 {
+		usage(fs, stderr)
 		return 2
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "irsim: -cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "irsim: -cpuprofile: %v\n", err)
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "irsim: -cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "irsim: -cpuprofile: %v\n", err)
 			return 1
 		}
 		defer func() {
@@ -61,12 +73,12 @@ func run(args []string) int {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "irsim: -memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "irsim: -memprofile: %v\n", err)
 				return
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "irsim: -memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "irsim: -memprofile: %v\n", err)
 			}
 			f.Close()
 		}()
@@ -78,16 +90,15 @@ func run(args []string) int {
 	}
 	if *verbose {
 		opt.Logf = func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", a...)
+			fmt.Fprintf(stderr, format+"\n", a...)
 		}
 	}
 
-	ids := fs.Args()
 	if len(ids) == 1 {
 		switch strings.ToLower(ids[0]) {
 		case "list":
 			for _, id := range experiments.IDs() {
-				fmt.Println(id)
+				fmt.Fprintln(stdout, id)
 			}
 			return 0
 		case "all":
@@ -100,12 +111,13 @@ func run(args []string) int {
 		start := time.Now()
 		tb, ok := experiments.ByID(id, opt)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "irsim: unknown experiment %q (try: irsim list)\n", id)
+			fmt.Fprintf(stderr, "irsim: unknown experiment %q (try: irsim list)\n", id)
 			bad++
 			continue
 		}
-		fmt.Print(tb)
-		fmt.Printf("(%.1fs wall)\n\n", time.Since(start).Seconds())
+		fmt.Fprint(stdout, tb)
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stderr, "irsim: %s took %.1fs wall\n", id, time.Since(start).Seconds())
 	}
 	if bad > 0 {
 		return 1
@@ -113,7 +125,7 @@ func run(args []string) int {
 	return 0
 }
 
-func usage(fs *flag.FlagSet) {
-	fmt.Fprintln(os.Stderr, "usage: irsim [flags] list | all | <figure-id>...")
+func usage(fs *flag.FlagSet, stderr io.Writer) {
+	fmt.Fprintln(stderr, "usage: irsim [flags] list | all | <experiment-id>...")
 	fs.PrintDefaults()
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestListIncludesEveryExperiment(t *testing.T) {
+	code, out, _ := runCmd(t, "list")
+	if code != 0 {
+		t.Fatalf("list exited %d", code)
+	}
+	for _, id := range []string{"fig1a", "claims", "chaos", "cluster"} {
+		if !strings.Contains(out, id+"\n") {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	code, _, errOut := runCmd(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "usage:") {
+		t.Fatalf("no usage message on stderr: %q", errOut)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	if code, _, _ := runCmd(t, "-nonsense"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	code, _, errOut := runCmd(t, "fig99")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "unknown experiment") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestClusterExperimentDeterministic(t *testing.T) {
+	// The -experiment alias, and the headline property: same seed ⇒
+	// byte-identical stdout, with and without -parallel.
+	code, out, errOut := runCmd(t, "-experiment", "cluster", "-runs", "1", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "first-fit") || !strings.Contains(out, "ia+irs") {
+		t.Fatalf("cluster table missing variants:\n%s", out)
+	}
+	code2, out2, _ := runCmd(t, "-runs", "1", "-seed", "1", "cluster")
+	if code2 != 0 || out2 != out {
+		t.Fatalf("positional rerun differs (exit %d)", code2)
+	}
+	code3, out3, _ := runCmd(t, "-parallel=false", "-runs", "1", "-seed", "1", "cluster")
+	if code3 != 0 || out3 != out {
+		t.Fatalf("serial run differs from parallel (exit %d)", code3)
+	}
+}

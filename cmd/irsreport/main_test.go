@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-nonsense"}, 2},
+		{[]string{"-faults", "bogus=1"}, 2},
+		{[]string{"-strategy", "fifo"}, 2},
+		{[]string{"-strategy", ""}, 2},
+		{[]string{"-bench", "nosuchbench"}, 1},
+	}
+	for _, tc := range cases {
+		if code, _, _ := runCmd(t, tc.args...); code != tc.want {
+			t.Errorf("%v: exit = %d, want %d", tc.args, code, tc.want)
+		}
+	}
+}
+
+func TestInsertSuffix(t *testing.T) {
+	if got := insertSuffix("out.csv", "irs"); got != "out.irs.csv" {
+		t.Fatalf("insertSuffix = %q", got)
+	}
+	if got := insertSuffix("trace", "ple"); got != "trace.ple" {
+		t.Fatalf("insertSuffix = %q", got)
+	}
+}
+
+func TestReportRunsAndIsDeterministic(t *testing.T) {
+	prom := filepath.Join(t.TempDir(), "out.prom")
+	args := []string{"-strategy", "irs", "-inter", "1", "-seed", "1", "-prom", prom}
+	code, out, errOut := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"irsreport: bench=streamcluster", "steal per vCPU", "SA sent/ack/exp", "telemetry"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(errOut, "wrote prometheus") {
+		t.Fatalf("stderr missing export confirmation: %q", errOut)
+	}
+	code2, out2, _ := runCmd(t, args...)
+	if code2 != 0 || out2 != out {
+		t.Fatalf("rerun differs (exit %d)", code2)
+	}
+}

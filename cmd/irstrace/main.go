@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,11 +26,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("irstrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	benchName := fs.String("bench", "streamcluster", "benchmark to trace")
 	stratName := fs.String("strategy", "irs", "vanilla | ple | relaxed-co | irs")
 	inter := fs.Int("inter", 1, "number of interfering CPU hogs")
@@ -52,17 +54,17 @@ func run(args []string) int {
 	case "irs":
 		strat = core.StrategyIRS
 	default:
-		fmt.Fprintf(os.Stderr, "irstrace: unknown strategy %q\n", *stratName)
+		fmt.Fprintf(stderr, "irstrace: unknown strategy %q\n", *stratName)
 		return 2
 	}
 	bench, ok := workload.ByName(*benchName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "irstrace: unknown benchmark %q\n", *benchName)
+		fmt.Fprintf(stderr, "irstrace: unknown benchmark %q\n", *benchName)
 		return 1
 	}
 	allowed, err := trace.ParseKinds(*kindsArg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "irstrace: %v\n", err)
+		fmt.Fprintf(stderr, "irstrace: %v\n", err)
 		return 2
 	}
 
@@ -87,7 +89,7 @@ func run(args []string) int {
 	}
 	res, err := core.Run(scn)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "irstrace: %v\n", err)
+		fmt.Fprintf(stderr, "irstrace: %v\n", err)
 		return 1
 	}
 
@@ -102,11 +104,11 @@ func run(args []string) int {
 		if allowed != nil && !allowed[e.Kind] {
 			continue
 		}
-		fmt.Println(e)
+		fmt.Fprintln(stdout, e)
 		shown++
 	}
-	fmt.Printf("\n%d events shown (window %v..%v); totals: %s\n", shown, from, to, log.Summary())
-	fmt.Printf("runtime=%v SA sent/acked/expired=%d/%d/%d\n",
+	fmt.Fprintf(stdout, "\n%d events shown (window %v..%v); totals: %s\n", shown, from, to, log.Summary())
+	fmt.Fprintf(stdout, "runtime=%v SA sent/acked/expired=%d/%d/%d\n",
 		res.VM("fg").Runtime, res.SASent, res.SAAcked, res.SAExpired)
 	return 0
 }

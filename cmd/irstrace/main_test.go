@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-nonsense"}, 2},
+		{[]string{"-strategy", "fifo"}, 2},
+		{[]string{"-kinds", "bogus"}, 2},
+		{[]string{"-bench", "nosuchbench"}, 1},
+	}
+	for _, tc := range cases {
+		if code, _, _ := runCmd(t, tc.args...); code != tc.want {
+			t.Errorf("%v: exit = %d, want %d", tc.args, code, tc.want)
+		}
+	}
+}
+
+func TestTraceDumpsWindowDeterministically(t *testing.T) {
+	args := []string{"-strategy", "irs", "-inter", "1", "-seed", "1",
+		"-at", "1s", "-window", "50ms", "-kinds", "sa,switch"}
+	code, out, errOut := runCmd(t, args...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "events shown") || !strings.Contains(out, "runtime=") {
+		t.Fatalf("trace summary missing:\n%s", out)
+	}
+	code2, out2, _ := runCmd(t, args...)
+	if code2 != 0 || out2 != out {
+		t.Fatalf("rerun differs (exit %d)", code2)
+	}
+}

@@ -1,26 +1,31 @@
-// Command irsweep runs ad-hoc parameter sweeps: one benchmark, a range
-// of interference levels, all four scheduling strategies. The
-// (level × strategy) matrix fans out across worker goroutines; each
-// cell is an isolated deterministic simulation, so the printed table is
-// identical with and without -parallel.
+// Command irsweep runs ad-hoc parameter sweeps. The default dimension
+// is one benchmark against a range of interference levels under all
+// four scheduling strategies; -cluster instead sweeps the multi-host
+// placement variants (first-fit, least-loaded, interference-aware ±
+// IRS) across rack sizes. Every cell is an isolated deterministic
+// simulation fanned out across worker goroutines, so the printed table
+// is identical with and without -parallel.
 //
 // Usage:
 //
 //	irsweep -bench streamcluster -inter 0,1,2,4 [-mode spin|block] [-vcpus 4]
 //	        [-unpinned] [-seed S] [-runs N] [-parallel] [-workers N]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	irsweep -cluster [-hosts 2,3,4] [-seed S] [-parallel] [-workers N]
 //	irsweep -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -29,11 +34,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("irsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	benchName := fs.String("bench", "streamcluster", "benchmark name (see -list)")
 	interList := fs.String("inter", "0,1,2,4", "comma-separated interference levels")
 	modeName := fs.String("mode", "", "override wait policy: spin or block")
@@ -42,6 +48,8 @@ func run(args []string) int {
 	seed := fs.Uint64("seed", 1, "base random seed")
 	runs := fs.Int("runs", 3, "runs per data point")
 	list := fs.Bool("list", false, "list benchmark names and exit")
+	clusterSweep := fs.Bool("cluster", false, "sweep the multi-host placement variants across rack sizes")
+	hostsList := fs.String("hosts", "2,3,4", "comma-separated host counts for -cluster")
 	parallel := fs.Bool("parallel", true, "fan sweep cells across worker goroutines")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -51,7 +59,7 @@ func run(args []string) int {
 	}
 	if *list {
 		for _, n := range workload.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
 		return 0
 	}
@@ -59,11 +67,11 @@ func run(args []string) int {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "irsweep: -cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "irsweep: -cpuprofile: %v\n", err)
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "irsweep: -cpuprofile: %v\n", err)
+			fmt.Fprintf(stderr, "irsweep: -cpuprofile: %v\n", err)
 			return 1
 		}
 		defer func() {
@@ -75,20 +83,37 @@ func run(args []string) int {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "irsweep: -memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "irsweep: -memprofile: %v\n", err)
 				return
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "irsweep: -memprofile: %v\n", err)
+				fmt.Fprintf(stderr, "irsweep: -memprofile: %v\n", err)
 			}
 			f.Close()
 		}()
 	}
 
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	if !*parallel {
+		nWorkers = 1
+	}
+
+	if *clusterSweep {
+		hosts, ok := parseIntList(*hostsList)
+		if !ok || len(hosts) == 0 {
+			fmt.Fprintf(stderr, "irsweep: bad -hosts %q\n", *hostsList)
+			return 2
+		}
+		return clusterMatrix(stdout, stderr, hosts, *seed, nWorkers)
+	}
+
 	bench, ok := workload.ByName(*benchName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "irsweep: unknown benchmark %q (try -list)\n", *benchName)
+		fmt.Fprintf(stderr, "irsweep: unknown benchmark %q (try -list)\n", *benchName)
 		return 1
 	}
 	var mode workload.SyncMode
@@ -99,26 +124,14 @@ func run(args []string) int {
 	case "block":
 		mode = workload.SyncBlocking
 	default:
-		fmt.Fprintf(os.Stderr, "irsweep: bad -mode %q\n", *modeName)
+		fmt.Fprintf(stderr, "irsweep: bad -mode %q\n", *modeName)
 		return 2
 	}
 
-	var levels []int
-	for _, part := range strings.Split(*interList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 0 {
-			fmt.Fprintf(os.Stderr, "irsweep: bad -inter entry %q\n", part)
-			return 2
-		}
-		levels = append(levels, n)
-	}
-
-	nWorkers := *workers
-	if nWorkers <= 0 {
-		nWorkers = runtime.GOMAXPROCS(0)
-	}
-	if !*parallel {
-		nWorkers = 1
+	levels, ok := parseIntList(*interList)
+	if !ok {
+		fmt.Fprintf(stderr, "irsweep: bad -inter %q\n", *interList)
+		return 2
 	}
 
 	// Compute every (level, strategy) cell up front — each is an
@@ -141,22 +154,97 @@ func run(args []string) int {
 	}
 	experiments.ParallelDo(nWorkers, fns)
 
-	fmt.Printf("%-10s", "inter")
+	fmt.Fprintf(stdout, "%-10s", "inter")
 	for _, st := range strats {
-		fmt.Printf("  %-12s", st)
+		fmt.Fprintf(stdout, "  %-12s", st)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for li, lvl := range levels {
-		fmt.Printf("%-10d", lvl)
+		fmt.Fprintf(stdout, "%-10d", lvl)
 		for si := range strats {
 			c := cells[li*len(strats)+si]
 			if c.err != nil {
-				fmt.Printf("  %-12s", "ERR")
+				fmt.Fprintf(stdout, "  %-12s", "ERR")
 				continue
 			}
-			fmt.Printf("  %-12s", fmt.Sprintf("%.3fs", c.mean))
+			fmt.Fprintf(stdout, "  %-12s", fmt.Sprintf("%.3fs", c.mean))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+// parseIntList parses a comma-separated list of non-negative ints.
+func parseIntList(s string) ([]int, bool) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, false
+		}
+		out = append(out, n)
+	}
+	return out, true
+}
+
+// clusterMatrix sweeps the experiment's placement variants over rack
+// sizes: one row per host count, one column pair (p99, SLO-violation
+// rate) per variant.
+func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers int) int {
+	variants := experiments.ClusterVariants()
+	type cell struct {
+		p99  sim.Time
+		slo  float64
+		migr int64
+		err  error
+	}
+	cells := make([]cell, len(hosts)*len(variants))
+	var fns []func()
+	for hi, n := range hosts {
+		for vi, v := range variants {
+			hi, vi, n, v := hi, vi, n, v
+			fns = append(fns, func() {
+				cfg := experiments.ClusterConfig(v, seed)
+				cfg.Hosts = n
+				c, err := cluster.New(cfg)
+				if err != nil {
+					cells[hi*len(variants)+vi] = cell{err: err}
+					return
+				}
+				res, err := c.Run()
+				if err != nil {
+					cells[hi*len(variants)+vi] = cell{err: err}
+					return
+				}
+				cells[hi*len(variants)+vi] = cell{p99: res.P99, slo: res.SLORate, migr: res.Migrations}
+			})
+		}
+	}
+	experiments.ParallelDo(nWorkers, fns)
+
+	fmt.Fprintf(stdout, "%-8s", "hosts")
+	for _, v := range variants {
+		fmt.Fprintf(stdout, "  %-24s", v.Name+" p99/slo/migr")
+	}
+	fmt.Fprintln(stdout)
+	bad := 0
+	for hi, n := range hosts {
+		fmt.Fprintf(stdout, "%-8d", n)
+		for vi, v := range variants {
+			c := cells[hi*len(variants)+vi]
+			if c.err != nil {
+				fmt.Fprintf(stdout, "  %-24s", "ERR")
+				fmt.Fprintf(stderr, "irsweep: %d hosts, %s: %v\n", n, v.Name, c.err)
+				bad++
+				continue
+			}
+			fmt.Fprintf(stdout, "  %-24s", fmt.Sprintf("%.3fms/%.2f%%/%d",
+				float64(c.p99)/float64(sim.Millisecond), c.slo*100, c.migr))
+		}
+		fmt.Fprintln(stdout)
+	}
+	if bad > 0 {
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestListPrintsBenchmarks(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	if !strings.Contains(out, "streamcluster") {
+		t.Fatalf("-list output missing streamcluster:\n%s", out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-nonsense"}, 2},
+		{[]string{"-inter", "1,x"}, 2},
+		{[]string{"-inter", "-3"}, 2},
+		{[]string{"-mode", "busy"}, 2},
+		{[]string{"-cluster", "-hosts", "two"}, 2},
+		{[]string{"-bench", "nosuchbench"}, 1},
+	}
+	for _, tc := range cases {
+		if code, _, _ := runCmd(t, tc.args...); code != tc.want {
+			t.Errorf("%v: exit = %d, want %d", tc.args, code, tc.want)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	if got, ok := parseIntList(" 2, 3 ,4"); !ok || len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("parseIntList = %v, %v", got, ok)
+	}
+	if _, ok := parseIntList("2,-1"); ok {
+		t.Fatal("parseIntList accepted a negative entry")
+	}
+}
+
+func TestClusterSweepDeterministic(t *testing.T) {
+	code, out, errOut := runCmd(t, "-cluster", "-hosts", "3", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"hosts", "first-fit", "least-loaded", "ia+irs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	code2, out2, _ := runCmd(t, "-cluster", "-hosts", "3", "-seed", "1", "-parallel=false")
+	if code2 != 0 || out2 != out {
+		t.Fatalf("serial sweep differs from parallel (exit %d)", code2)
+	}
+}

@@ -13,24 +13,32 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	benchNames := []string{"blackscholes", "streamcluster", "x264", "raytrace"}
 	levels := []int{1, 2}
 
 	for _, name := range benchNames {
 		bench, ok := workload.ByName(name)
 		if !ok {
-			log.Fatalf("%s not in catalog", name)
+			return fmt.Errorf("%s not in catalog", name)
 		}
-		fmt.Printf("== %s ==\n", name)
+		fmt.Fprintf(w, "== %s ==\n", name)
 		for _, lvl := range levels {
-			fmt.Printf("  %d-inter:", lvl)
+			fmt.Fprintf(w, "  %d-inter:", lvl)
 			var vanilla float64
 			for _, strat := range core.Strategies() {
 				fg := core.BenchmarkVM("fg", bench, 0, 4, core.SeqPins(0, 4))
@@ -45,18 +53,19 @@ func main() {
 					},
 				})
 				if err != nil {
-					log.Fatalf("%s %s: %v", name, strat, err)
+					return fmt.Errorf("%s %s: %w", name, strat, err)
 				}
 				rt := res.VM("fg").Runtime.Seconds()
 				if strat == core.StrategyVanilla {
 					vanilla = rt
 				}
-				fmt.Printf("  %s=%.2fs", strat, rt)
+				fmt.Fprintf(w, "  %s=%.2fs", strat, rt)
 				if strat == core.StrategyIRS && vanilla > 0 {
-					fmt.Printf(" (%+.0f%%)", (vanilla-rt)/vanilla*100)
+					fmt.Fprintf(w, " (%+.0f%%)", (vanilla-rt)/vanilla*100)
 				}
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
+	return nil
 }

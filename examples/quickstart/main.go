@@ -13,16 +13,24 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	bench, ok := workload.ByName("streamcluster")
 	if !ok {
-		log.Fatal("streamcluster not in the catalog")
+		return fmt.Errorf("streamcluster not in the catalog")
 	}
 
 	runtimes := map[core.Strategy]float64{}
@@ -41,15 +49,16 @@ func main() {
 		}
 		res, err := core.Run(scn)
 		if err != nil {
-			log.Fatalf("%s: %v", strat, err)
+			return fmt.Errorf("%s: %w", strat, err)
 		}
 		vr := res.VM("fg")
 		runtimes[strat] = vr.Runtime.Seconds()
-		fmt.Printf("%-10s runtime=%-8v LHP=%-4d task-migrations=%-5d SA=%d acked=%d (mean %v)\n",
+		fmt.Fprintf(w, "%-10s runtime=%-8v LHP=%-4d task-migrations=%-5d SA=%d acked=%d (mean %v)\n",
 			strat, vr.Runtime, vr.LHP, vr.TaskMigrations, res.SASent, res.SAAcked, res.SAMeanDelay)
 	}
 
 	imp := (runtimes[core.StrategyVanilla] - runtimes[core.StrategyIRS]) /
 		runtimes[core.StrategyVanilla] * 100
-	fmt.Printf("\nIRS improvement over vanilla Xen/Linux: %.1f%% (paper: up to 42%% for PARSEC)\n", imp)
+	fmt.Fprintf(w, "\nIRS improvement over vanilla Xen/Linux: %.1f%% (paper: up to 42%% for PARSEC)\n", imp)
+	return nil
 }

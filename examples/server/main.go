@@ -12,7 +12,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -20,6 +22,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	jbb := workload.ServerSpec{
 		Name:      "specjbb",
 		Threads:   4,
@@ -36,7 +44,7 @@ func main() {
 	}
 
 	for _, spec := range []workload.ServerSpec{jbb, ab} {
-		fmt.Printf("== %s (%d threads, %v mean service) ==\n", spec.Name, spec.Threads, spec.Service)
+		fmt.Fprintf(w, "== %s (%d threads, %v mean service) ==\n", spec.Name, spec.Threads, spec.Service)
 		for _, inter := range []int{2, 4} {
 			for _, strat := range []core.Strategy{core.StrategyVanilla, core.StrategyIRS} {
 				vmSpec, statsPtr := core.ServerVM("fg", spec, 4, core.SeqPins(0, 4))
@@ -51,12 +59,13 @@ func main() {
 					},
 				})
 				if err != nil {
-					log.Fatalf("%s: %v", spec.Name, err)
+					return fmt.Errorf("%s: %w", spec.Name, err)
 				}
 				st := *statsPtr
-				fmt.Printf("  %d-inter %-8s throughput=%7.0f req/s  mean=%-9v p99=%v\n",
+				fmt.Fprintf(w, "  %d-inter %-8s throughput=%7.0f req/s  mean=%-9v p99=%v\n",
 					inter, strat, st.Throughput(), st.Latency.Mean(), st.Latency.Percentile(99))
 			}
 		}
 	}
+	return nil
 }

@@ -14,7 +14,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -22,6 +24,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	cases := []struct {
 		name string
 		mode workload.SyncMode
@@ -32,18 +40,25 @@ func main() {
 	for _, c := range cases {
 		bench, ok := workload.ByName(c.name)
 		if !ok {
-			log.Fatalf("%s not in catalog", c.name)
+			return fmt.Errorf("%s not in catalog", c.name)
 		}
-		pinned := measure(bench, c.mode, core.StrategyVanilla, false)
-		fmt.Printf("== %s (4 hogs) ==\n  pinned vanilla: %.2fs\n", c.name, pinned)
+		pinned, err := measure(bench, c.mode, core.StrategyVanilla, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "== %s (4 hogs) ==\n  pinned vanilla: %.2fs\n", c.name, pinned)
 		for _, strat := range core.Strategies() {
-			rt := measure(bench, c.mode, strat, true)
-			fmt.Printf("  unpinned %-10s: %.2fs (stacking penalty %.2fx)\n", strat, rt, rt/pinned)
+			rt, err := measure(bench, c.mode, strat, true)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  unpinned %-10s: %.2fs (stacking penalty %.2fx)\n", strat, rt, rt/pinned)
 		}
 	}
+	return nil
 }
 
-func measure(bench workload.Benchmark, mode workload.SyncMode, strat core.Strategy, unpinned bool) float64 {
+func measure(bench workload.Benchmark, mode workload.SyncMode, strat core.Strategy, unpinned bool) (float64, error) {
 	var fgPins, bgPins []int
 	if !unpinned {
 		fgPins = core.SeqPins(0, 4)
@@ -63,7 +78,7 @@ func measure(bench workload.Benchmark, mode workload.SyncMode, strat core.Strate
 		},
 	})
 	if err != nil {
-		log.Fatalf("%s %v: %v", bench.Name, strat, err)
+		return 0, fmt.Errorf("%s %v: %w", bench.Name, strat, err)
 	}
-	return res.VM("fg").Runtime.Seconds()
+	return res.VM("fg").Runtime.Seconds(), nil
 }

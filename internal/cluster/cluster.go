@@ -1,0 +1,627 @@
+// Package cluster models a rack of simulated hosts — each running the
+// full hypervisor+guest stack on one shared deterministic engine —
+// under a cluster scheduler that places incoming VMs by predicted
+// interference, live-migrates whole VMs away from interference
+// hot-spots, and routes an open-loop request stream across the server
+// replicas so cluster-level tail latency and SLO-violation rate become
+// first-class outputs.
+//
+// The paper fixes lock-holder preemption inside one host; this layer is
+// the deployment surface above it: the per-host steal / preempt-wait /
+// LHP telemetry that the IRS machinery exports (internal/obs) doubles
+// as the placement signal, in the spirit of Angelou et al.'s resource-
+// and interference-aware scheduling.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// VMKind classifies a cluster VM for placement purposes.
+type VMKind int
+
+const (
+	// KindServer is a latency-sensitive request-serving VM; the router
+	// spreads the cluster request stream across all live server VMs.
+	KindServer VMKind = iota + 1
+	// KindAntagonist is a CPU-bound batch VM with no latency SLO.
+	KindAntagonist
+)
+
+func (k VMKind) String() string {
+	switch k {
+	case KindServer:
+		return "server"
+	case KindAntagonist:
+		return "antagonist"
+	default:
+		return fmt.Sprintf("VMKind(%d)", int(k))
+	}
+}
+
+// VMSpec describes one VM arriving at the cluster.
+type VMSpec struct {
+	Name  string
+	Kind  VMKind
+	VCPUs int
+	// Weight is the credit-scheduler weight (default 256).
+	Weight int
+	// Threads is the worker-thread count for server VMs (default VCPUs).
+	Threads int
+	// ArriveAt is when the VM is submitted for placement.
+	ArriveAt sim.Time
+	// Pressure declares the VM's expected CPU demand in pCPUs, as a
+	// cloud user declares resource requests. The interference-aware
+	// policy uses it to bound the harm a newcomer does to resident
+	// sensitive VMs before any measurement of the newcomer exists.
+	Pressure float64
+	// Sensitive marks latency-critical VMs (QoS class). Placement
+	// keeps measured interference away from sensitive VMs and keeps
+	// high-pressure newcomers away from hosts running them.
+	Sensitive bool
+}
+
+// Config parameterizes a cluster run.
+type Config struct {
+	Hosts        int
+	PCPUsPerHost int
+	// Strategy is the per-host hypervisor scheduling strategy.
+	Strategy hypervisor.Strategy
+	// IRS makes guests SA-capable (effective with StrategyIRS).
+	IRS bool
+	// Policy selects the placement policy.
+	Policy Policy
+	// Overcommit bounds committed vCPUs per host at
+	// Overcommit×PCPUsPerHost (soft for placement fallback).
+	Overcommit float64
+
+	Seed uint64
+	// Duration is how long the request stream runs; Drain is the extra
+	// time the simulation continues so queues empty.
+	Duration sim.Time
+	Drain    sim.Time
+
+	// VMs is the arrival sequence (ordered by ArriveAt).
+	VMs []VMSpec
+
+	// Service is the mean request service time; Arrival the mean
+	// inter-arrival time of the cluster-wide request stream; SLO the
+	// latency above which a request counts as an SLO violation.
+	Service sim.Time
+	Arrival sim.Time
+	SLO     sim.Time
+
+	// Migration enables hot-spot detection and live VM migration.
+	Migration bool
+	// MonitorInterval is how often the interference signal is
+	// refreshed (and migrations considered).
+	MonitorInterval sim.Time
+	// StealTrigger is the per-vCPU steal fraction (time runnable but
+	// not running, over the monitor window) above which a server VM is
+	// considered to be suffering and becomes a migration victim.
+	StealTrigger float64
+	// HotThreshold adds hysteresis: the victim's host must show more
+	// than HotThreshold× the destination's interference score.
+	HotThreshold float64
+	// MigrationPause is the switchover downtime; CopyPerVCPU the
+	// pre-copy duration per vCPU (VM keeps serving during the copy);
+	// MigrationCooldown the minimum gap between migrations of one VM.
+	MigrationPause    sim.Time
+	CopyPerVCPU       sim.Time
+	MigrationCooldown sim.Time
+
+	// HostBlackoutEvery, when positive, pauses every vCPU of one
+	// randomly chosen host for HostBlackoutFor at each period — the
+	// cluster-level fault model (rack power/management-plane events).
+	HostBlackoutEvery sim.Time
+	HostBlackoutFor   sim.Time
+	// Faults, when non-zero, attaches a per-host fault injector with a
+	// forked seed (control-plane message faults inside each host).
+	Faults    fault.Plan
+	FaultSeed uint64
+
+	// Invariants attaches the runtime invariant checker to every host
+	// hypervisor, every guest kernel, and the cluster itself.
+	Invariants    bool
+	AuditInterval sim.Time
+
+	// TuneHV and TuneGuest, when non-nil, adjust each host's
+	// hypervisor config and each guest kernel's config after defaults
+	// are applied.
+	TuneHV    func(*hypervisor.Config)
+	TuneGuest func(*guest.Config)
+}
+
+// DefaultConfig returns the standard consolidation rig: three 4-pCPU
+// hosts, a 20-second request stream, and the StandardMix arrival
+// sequence of four server VMs interleaved with four antagonists.
+func DefaultConfig() Config {
+	return Config{
+		Hosts:             3,
+		PCPUsPerHost:      4,
+		Strategy:          hypervisor.StrategyVanilla,
+		Policy:            LeastLoaded,
+		Overcommit:        1.5,
+		Seed:              1,
+		Duration:          20 * sim.Second,
+		Drain:             2 * sim.Second,
+		VMs:               StandardMix(4, 2, 4, 2, 1*sim.Second),
+		Service:           2 * sim.Millisecond,
+		Arrival:           1250 * sim.Microsecond,
+		SLO:               20 * sim.Millisecond,
+		MonitorInterval:   500 * sim.Millisecond,
+		StealTrigger:      0.1,
+		HotThreshold:      1.3,
+		MigrationPause:    25 * sim.Millisecond,
+		CopyPerVCPU:       40 * sim.Millisecond,
+		MigrationCooldown: 3 * sim.Second,
+		AuditInterval:     50 * sim.Millisecond,
+	}
+}
+
+// StandardMix builds the default arrival sequence: servers and
+// antagonists alternating, one VM every spacing.
+func StandardMix(servers, serverVCPUs, antagonists, antagonistVCPUs int, spacing sim.Time) []VMSpec {
+	var out []VMSpec
+	t := sim.Time(0)
+	for si, ai := 0, 0; si < servers || ai < antagonists; {
+		if si < servers {
+			out = append(out, VMSpec{
+				Name:      fmt.Sprintf("srv%d", si),
+				Kind:      KindServer,
+				VCPUs:     serverVCPUs,
+				Pressure:  0.4 * float64(serverVCPUs),
+				Sensitive: true,
+				ArriveAt:  t,
+			})
+			si++
+			t += spacing
+		}
+		if ai < antagonists {
+			out = append(out, VMSpec{
+				Name:     fmt.Sprintf("ant%d", ai),
+				Kind:     KindAntagonist,
+				VCPUs:    antagonistVCPUs,
+				Pressure: float64(antagonistVCPUs),
+				ArriveAt: t,
+			})
+			ai++
+			t += spacing
+		}
+	}
+	return out
+}
+
+// Host is one simulated machine in the rack. Each host gets its own
+// metrics registry (per-host metric namespaces, as per-host scrape
+// endpoints would be) and its own forked fault-injector stream.
+type Host struct {
+	ID  int
+	HV  *hypervisor.Hypervisor
+	Reg *obs.Registry
+	inj *fault.Injector
+
+	committed int // placed vCPUs (bookkeeping, audited)
+	sensitive int // resident sensitive VMs
+
+	// Windowed interference signal, refreshed by the monitor from the
+	// host registry's cumulative counters.
+	prevBusy, prevSteal, prevWait float64
+	prevLHP                       float64
+	busyFrac, stealFrac, waitFrac float64
+	lhpRate                       float64
+}
+
+// Name returns the host identifier, e.g. "host1".
+func (h *Host) Name() string { return fmt.Sprintf("host%d", h.ID) }
+
+// Committed returns the number of vCPUs placed on the host.
+func (h *Host) Committed() int { return h.committed }
+
+// Interference is the host's contention score: heavily weighted steal
+// and preempt-wait fractions plus the lock-holder-preemption rate.
+// Unlike Score it ignores plain busyness — a host full of
+// well-isolated work is busy but not interfering.
+func (h *Host) Interference() float64 {
+	return 4*(h.stealFrac+h.waitFrac) + h.lhpRate/100
+}
+
+// Score is the host's placement score: measured busy fraction plus the
+// interference terms.
+func (h *Host) Score() float64 {
+	return h.busyFrac + h.Interference()
+}
+
+// VMHandle is the cluster's view of one logical VM across its boot
+// generations (a migration retires the current instance and boots a
+// successor on the destination host).
+type VMHandle struct {
+	Spec VMSpec
+	idx  int
+
+	admitted  bool
+	migrating bool
+	host      *Host
+	gen       int
+	lastMove  sim.Time
+
+	vm   *hypervisor.VM
+	kern *guest.Kernel
+	inst *workload.Instance
+
+	// Server-only routing state.
+	gate    *workload.RemoteGate
+	gates   []*workload.RemoteGate // every generation, for conservation audits
+	carried []sim.Time             // queued arrivals in transit during a switchover
+	routed  int64
+
+	prevSteal float64 // cumulative VM steal at last signal refresh
+	stealFrac float64 // per-vCPU steal fraction over the last window
+}
+
+// Host returns the host the VM currently occupies (nil before
+// admission).
+func (hd *VMHandle) Host() *Host { return hd.host }
+
+// Migrations returns how many times the VM has moved hosts.
+func (hd *VMHandle) Migrations() int { return hd.gen }
+
+// instName returns the per-generation instance name, e.g. "srv2#1"
+// after one migration.
+func (hd *VMHandle) instName() string {
+	if hd.gen == 0 {
+		return hd.Spec.Name
+	}
+	return fmt.Sprintf("%s#%d", hd.Spec.Name, hd.gen)
+}
+
+// Cluster ties the rack, the placement policy, the router, and the
+// migration monitor together on one deterministic engine.
+type Cluster struct {
+	cfg     Config
+	eng     *sim.Engine
+	hosts   []*Host
+	vms     []*VMHandle
+	servers []*VMHandle
+	checker *invariant.Checker
+
+	arrivalRNG  *sim.RNG
+	blackoutRNG *sim.RNG
+
+	stats         *workload.ServerStats
+	generated     int64
+	buffered      []sim.Time // arrivals held back while no replica is live
+	sloViolations int64
+	migrations    int64
+	lastRefresh   sim.Time
+	blackouts     int64
+}
+
+// New builds a cluster but does not run it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Hosts <= 0 || cfg.PCPUsPerHost <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one host and one pCPU (got %d×%d)", cfg.Hosts, cfg.PCPUsPerHost)
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = LeastLoaded
+	}
+	if cfg.Overcommit <= 0 {
+		cfg.Overcommit = 1.5
+	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = 500 * sim.Millisecond
+	}
+	if cfg.StealTrigger <= 0 {
+		cfg.StealTrigger = 0.1
+	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 1.3
+	}
+	if cfg.AuditInterval <= 0 {
+		cfg.AuditInterval = 50 * sim.Millisecond
+	}
+	if len(cfg.VMs) == 0 {
+		return nil, fmt.Errorf("cluster: no VMs to place")
+	}
+	for i, s := range cfg.VMs {
+		if s.Kind != KindServer && s.Kind != KindAntagonist {
+			return nil, fmt.Errorf("cluster: VM %q has no kind", s.Name)
+		}
+		if s.VCPUs <= 0 {
+			return nil, fmt.Errorf("cluster: VM %q has %d vCPUs", s.Name, s.VCPUs)
+		}
+		_ = i
+	}
+
+	c := &Cluster{
+		cfg:         cfg,
+		eng:         sim.NewEngine(),
+		arrivalRNG:  sim.NewRNG(cfg.Seed ^ 0xc1a57e12),
+		blackoutRNG: sim.NewRNG(cfg.Seed ^ 0xb1ac0a7e),
+		stats:       &workload.ServerStats{Latency: &metrics.Reservoir{}},
+	}
+
+	for i := 0; i < cfg.Hosts; i++ {
+		reg := obs.NewRegistry()
+		var inj *fault.Injector
+		if !cfg.Faults.Zero() {
+			seed := cfg.FaultSeed
+			if seed == 0 {
+				seed = cfg.Seed ^ 0xfa017eed
+			}
+			inj = fault.NewInjector(cfg.Faults, seed^uint64(i+1)*0x9e3779b97f4a7c15, reg)
+		}
+		hc := hypervisor.DefaultConfig(cfg.PCPUsPerHost)
+		hc.Strategy = cfg.Strategy
+		hc.LoadBalance = true
+		hc.Metrics = reg
+		hc.Faults = inj
+		hc.Seed = cfg.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15
+		if cfg.TuneHV != nil {
+			cfg.TuneHV(&hc)
+		}
+		c.hosts = append(c.hosts, &Host{
+			ID:  i,
+			HV:  hypervisor.New(c.eng, hc),
+			Reg: reg,
+			inj: inj,
+		})
+	}
+
+	if cfg.Invariants {
+		c.checker = invariant.New(cfg.AuditInterval)
+		for _, h := range c.hosts {
+			c.checker.Observe(h.HV)
+		}
+		c.checker.Observe(c)
+		c.checker.Attach(c.eng)
+	}
+
+	// VM arrivals, in a stable order at equal times.
+	handles := make([]*VMHandle, len(cfg.VMs))
+	for i, spec := range cfg.VMs {
+		if spec.Weight <= 0 {
+			spec.Weight = 256
+		}
+		if spec.Threads <= 0 {
+			spec.Threads = spec.VCPUs
+		}
+		handles[i] = &VMHandle{Spec: spec, idx: i}
+	}
+	sort.SliceStable(handles, func(a, b int) bool { return handles[a].Spec.ArriveAt < handles[b].Spec.ArriveAt })
+	for _, hd := range handles {
+		hd := hd
+		c.vms = append(c.vms, hd)
+		if hd.Spec.Kind == KindServer {
+			c.servers = append(c.servers, hd)
+		}
+		c.eng.At(hd.Spec.ArriveAt, "vm-arrive-"+hd.Spec.Name, func() { c.admit(hd) })
+	}
+
+	// Cluster-wide request stream (open loop, exponential).
+	if cfg.Arrival > 0 && cfg.Duration > 0 {
+		c.eng.After(c.arrivalRNG.Exp(cfg.Arrival), "cluster-arrival", c.nextArrival)
+	}
+
+	// Interference monitor (signal refresh + migration trigger).
+	c.eng.Every(cfg.MonitorInterval, "cluster-monitor", c.monitor)
+
+	// Cluster-level host blackouts.
+	if cfg.HostBlackoutEvery > 0 && cfg.HostBlackoutFor > 0 {
+		c.eng.Every(cfg.HostBlackoutEvery, "cluster-blackout", c.hostBlackout)
+	}
+
+	return c, nil
+}
+
+// Engine exposes the simulation engine (for tests).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Hosts returns the rack.
+func (c *Cluster) Hosts() []*Host { return c.hosts }
+
+// VMs returns the logical VM handles in arrival order.
+func (c *Cluster) VMs() []*VMHandle { return c.vms }
+
+// capacity is the committed-vCPU bound per host.
+func (c *Cluster) capacity() int {
+	return int(c.cfg.Overcommit * float64(c.cfg.PCPUsPerHost))
+}
+
+// admit places hd on a host chosen by the policy and boots it there.
+func (c *Cluster) admit(hd *VMHandle) {
+	host := c.place(hd)
+	host.committed += hd.Spec.VCPUs
+	if hd.Spec.Sensitive {
+		host.sensitive++
+	}
+	hd.host = host
+	hd.admitted = true
+	hd.lastMove = c.eng.Now() // starts the migration residency clock
+	c.boot(hd, host, nil)
+	if hd.Spec.Kind == KindServer {
+		c.flushBuffered()
+	}
+}
+
+// boot creates hd's next instance on host. A non-nil snapshot seeds the
+// new VM's scheduler state (migration restore path).
+func (c *Cluster) boot(hd *VMHandle, host *Host, snap *hypervisor.VMSnapshot) {
+	cfg := c.cfg
+	saCapable := cfg.Strategy == hypervisor.StrategyIRS && cfg.IRS
+	vm := host.HV.NewVM(hd.instName(), hd.Spec.VCPUs, hd.Spec.Weight, saCapable)
+	if snap != nil {
+		if err := host.HV.RestoreVM(vm, *snap); err != nil {
+			panic("cluster: " + err.Error())
+		}
+	}
+
+	gc := guest.DefaultConfig()
+	gc.IRS = saCapable
+	gc.Metrics = host.Reg
+	gc.Faults = host.inj
+	gc.Seed = cfg.Seed ^ uint64(hd.idx+1)*0x9e37 ^ uint64(hd.gen)*0x517cc1b7
+	if cfg.TuneGuest != nil {
+		cfg.TuneGuest(&gc)
+	}
+	kern := guest.NewKernel(host.HV, vm, gc)
+
+	switch hd.Spec.Kind {
+	case KindServer:
+		spec := workload.ServerSpec{
+			Name:    hd.instName(),
+			Threads: hd.Spec.Threads,
+			Service: cfg.Service,
+		}
+		inst, gate := workload.NewRemoteServer(kern, spec, gc.Seed^0x5e12e, c.stats)
+		gate.OnServed = func(lat sim.Time) {
+			if cfg.SLO > 0 && lat > cfg.SLO {
+				c.sloViolations++
+			}
+		}
+		hd.inst = inst
+		hd.gate = gate
+		hd.gates = append(hd.gates, gate)
+		inst.Start()
+	case KindAntagonist:
+		hd.inst = workload.NewHog(kern, hd.Spec.Threads)
+		hd.inst.Start()
+	}
+	hd.vm = vm
+	hd.kern = kern
+	kern.Start()
+	if c.checker != nil {
+		c.checker.Observe(kern)
+	}
+}
+
+// Run drives the simulation to Duration+Drain and collects the result.
+func (c *Cluster) Run() (*Result, error) {
+	if err := c.eng.Run(c.cfg.Duration + c.cfg.Drain); err != nil {
+		return nil, err
+	}
+	if c.checker != nil {
+		c.checker.Audit()
+	}
+	return c.result(), nil
+}
+
+// HostLoad is the per-host slice of a Result.
+type HostLoad struct {
+	ID        int
+	Committed int
+	VMs       int
+}
+
+// Result summarizes one cluster run.
+type Result struct {
+	Generated, Served, Unserved int64
+	P50, P99, P999              sim.Time
+	MeanLatency                 sim.Time
+	SLOViolations               int64
+	SLORate                     float64 // violations / served
+	Migrations                  int64
+	Blackouts                   int64
+	FaultsInjected              int64
+	Violations                  int64
+	Hosts                       []HostLoad
+}
+
+func (c *Cluster) result() *Result {
+	res := &Result{
+		Generated:     c.generated,
+		Served:        c.stats.Requests,
+		Unserved:      c.generated - c.stats.Requests,
+		P50:           c.stats.Latency.Percentile(50),
+		P99:           c.stats.Latency.Percentile(99),
+		P999:          c.stats.Latency.Percentile(99.9),
+		MeanLatency:   c.stats.Latency.Mean(),
+		SLOViolations: c.sloViolations,
+		Migrations:    c.migrations,
+		Blackouts:     c.blackouts,
+	}
+	if res.Served > 0 {
+		res.SLORate = float64(c.sloViolations) / float64(res.Served)
+	}
+	for _, h := range c.hosts {
+		if h.inj != nil {
+			res.FaultsInjected += h.inj.Total()
+		}
+		res.Hosts = append(res.Hosts, HostLoad{ID: h.ID, Committed: h.committed, VMs: len(h.HV.VMs())})
+	}
+	if c.checker != nil {
+		res.Violations = c.checker.Count()
+	}
+	return res
+}
+
+// Stats exposes the shared server statistics (latency reservoir).
+func (c *Cluster) Stats() *workload.ServerStats { return c.stats }
+
+// AuditInvariants implements invariant.Source: no logical VM may be
+// lost or double-placed across migrations, committed-vCPU bookkeeping
+// must match placements, and every generated request must be accounted
+// for (served, queued, in service, carried by a migration, or held by
+// the router).
+func (c *Cluster) AuditInvariants(report func(rule, detail string)) {
+	perHost := make([]int, len(c.hosts))
+	for _, hd := range c.vms {
+		if hd.admitted {
+			perHost[hd.host.ID] += hd.Spec.VCPUs
+		}
+	}
+	for _, h := range c.hosts {
+		if perHost[h.ID] != h.committed {
+			report("cluster-committed", fmt.Sprintf("%s commits %d vCPUs, placements sum to %d",
+				h.Name(), h.committed, perHost[h.ID]))
+		}
+	}
+
+	var routed int64
+	for _, hd := range c.servers {
+		if !hd.admitted {
+			continue
+		}
+		open := 0
+		var served, inflight int64
+		for _, g := range hd.gates {
+			if !g.Closed() {
+				open++
+			}
+			served += g.Served()
+			inflight += g.InFlight()
+		}
+		if hd.migrating {
+			if open > 1 {
+				report("cluster-single-instance", fmt.Sprintf("%s has %d open gates mid-migration", hd.Spec.Name, open))
+			}
+		} else if open != 1 {
+			report("cluster-single-instance", fmt.Sprintf("%s has %d open gates", hd.Spec.Name, open))
+		}
+		queued := int64(0)
+		if hd.gate != nil {
+			queued = int64(hd.gate.QueueLen())
+		}
+		total := served + inflight + queued + int64(len(hd.carried))
+		if total != hd.routed {
+			report("cluster-request-conservation", fmt.Sprintf(
+				"%s routed %d != served %d + in-flight %d + queued %d + carried %d",
+				hd.Spec.Name, hd.routed, served, inflight, queued, len(hd.carried)))
+		}
+		routed += hd.routed
+	}
+	if c.generated != routed+int64(len(c.buffered)) {
+		report("cluster-request-conservation", fmt.Sprintf(
+			"generated %d != routed %d + held back %d", c.generated, routed, len(c.buffered)))
+	}
+}

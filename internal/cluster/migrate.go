@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+)
+
+// Live migration follows the classic pre-copy shape: while the VM keeps
+// serving on the source (and the router cordons it so its queue
+// drains), state is copied for CopyPerVCPU×vCPUs; then the VM pauses
+// for MigrationPause (switchover), its scheduler state is snapshotted,
+// its not-yet-started requests are carried over, and a successor
+// instance boots on the destination seeded with the snapshot. Carried
+// requests keep their original arrival stamps, so the downtime is paid
+// in their measured latency — migrations are never free.
+
+// monitor refreshes the interference signal and, when enabled,
+// considers one migration per tick.
+func (c *Cluster) monitor() {
+	c.refreshSignals()
+	if c.cfg.Migration {
+		c.maybeMigrate()
+	}
+}
+
+// maybeMigrate moves the worst-suffering server VM — the one whose
+// measured per-vCPU steal fraction over the last window exceeds
+// StealTrigger — to the least-interfering host with capacity. One
+// migration is in flight at a time, each VM has a cooldown, and
+// HotThreshold hysteresis stops ping-ponging between near-equal hosts.
+func (c *Cluster) maybeMigrate() {
+	for _, hd := range c.servers {
+		if hd.migrating {
+			return
+		}
+	}
+	now := c.eng.Now()
+
+	open := 0
+	for _, hd := range c.servers {
+		if hd.admitted && hd.gate != nil && !hd.gate.Closed() {
+			open++
+		}
+	}
+	var victim *VMHandle
+	for _, hd := range c.servers {
+		if !hd.admitted || hd.gate == nil || hd.gate.Closed() {
+			continue
+		}
+		// Residency: a VM is not movable until MigrationCooldown after
+		// its admission or last move, so transient balancer noise right
+		// after placement cannot evict it.
+		if now-hd.lastMove < c.cfg.MigrationCooldown {
+			continue
+		}
+		// Never cordon the only live replica: with nowhere to route,
+		// the whole stream would stall for the copy+pause window.
+		if open <= 1 {
+			continue
+		}
+		if hd.stealFrac < c.cfg.StealTrigger {
+			continue
+		}
+		if victim == nil || hd.stealFrac > victim.stealFrac {
+			victim = hd
+		}
+	}
+	if victim == nil {
+		return
+	}
+	hot := victim.host
+
+	// Destination: re-run the interference-aware placement scorer for
+	// the victim over the other hosts, so a host that is "cool" only
+	// because its hogs steal from each other is not chosen for a
+	// latency-sensitive VM.
+	cap := c.capacity()
+	var cool *Host
+	var coolScore float64
+	for _, h := range c.hosts {
+		if h == hot || h.committed+victim.Spec.VCPUs > cap {
+			continue
+		}
+		s := c.placementScore(h, victim, cap)
+		if cool == nil || s < coolScore {
+			cool, coolScore = h, s
+		}
+	}
+	if cool == nil {
+		return
+	}
+	// Hysteresis: the move must be a clear win (the epsilon keeps a
+	// cold rack from dividing near-zero scores).
+	if hot.Score() <= c.cfg.HotThreshold*coolScore+0.02 {
+		return
+	}
+	c.startMigration(victim, cool)
+}
+
+// startMigration runs the pre-copy phase, then the switchover.
+func (c *Cluster) startMigration(hd *VMHandle, dest *Host) {
+	hd.migrating = true // cordons the VM: router stops feeding it
+	hd.lastMove = c.eng.Now()
+	copyTime := c.cfg.CopyPerVCPU * sim.Time(hd.Spec.VCPUs)
+	c.eng.After(copyTime, "migrate-copy-"+hd.Spec.Name, func() {
+		// Switchover: freeze scheduler state, seal the gate, carry the
+		// requests no worker has started.
+		snap := hd.host.HV.SnapshotVM(hd.vm)
+		hd.carried = hd.gate.Close()
+		c.eng.After(c.cfg.MigrationPause, "migrate-switch-"+hd.Spec.Name, func() {
+			c.completeMigration(hd, dest, snap)
+		})
+	})
+}
+
+// completeMigration boots the successor instance on dest, re-submits
+// the carried requests with their original arrival stamps, and reopens
+// the VM to the router. The retired instance idles on the source until
+// the end of the run (shell teardown is not modeled); its drained
+// workers have already exited.
+func (c *Cluster) completeMigration(hd *VMHandle, dest *Host, snap hypervisor.VMSnapshot) {
+	src := hd.host
+	src.committed -= hd.Spec.VCPUs
+	dest.committed += hd.Spec.VCPUs
+	if hd.Spec.Sensitive {
+		src.sensitive--
+		dest.sensitive++
+	}
+	hd.gen++
+	hd.host = dest
+	hd.prevSteal = 0 // successor VM's steal clock restarts on dest
+	c.boot(hd, dest, &snap)
+	carried := hd.carried
+	hd.carried = nil
+	for _, arrival := range carried {
+		hd.gate.Submit(arrival)
+	}
+	hd.migrating = false
+	c.migrations++
+	c.flushBuffered()
+}
+
+// hostBlackout pauses every vCPU of one randomly chosen host for
+// HostBlackoutFor — the rack-level fault model. Migrations and the
+// invariant audits must ride it out.
+func (c *Cluster) hostBlackout() {
+	h := c.hosts[c.blackoutRNG.Intn(len(c.hosts))]
+	c.blackouts++
+	for _, vm := range h.HV.VMs() {
+		for _, v := range vm.VCPUs {
+			h.HV.PauseVCPU(v, c.cfg.HostBlackoutFor)
+		}
+	}
+}

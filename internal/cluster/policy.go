@@ -1,0 +1,132 @@
+package cluster
+
+import "fmt"
+
+// Policy selects how arriving VMs are placed onto hosts.
+type Policy int
+
+const (
+	// FirstFit packs each VM onto the lowest-numbered host with
+	// committed-vCPU capacity left.
+	FirstFit Policy = iota + 1
+	// LeastLoaded balances committed vCPUs (ties to the lowest host).
+	LeastLoaded
+	// InterferenceAware scores hosts from the measured interference
+	// signal (busy/steal/preempt-wait fractions, LHP rate from each
+	// host's obs registry) plus the declared pressure and sensitivity
+	// of the incoming VM, and picks the minimum.
+	InterferenceAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case LeastLoaded:
+		return "least-loaded"
+	case InterferenceAware:
+		return "interference-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies lists the placement policies in comparison order.
+func Policies() []Policy { return []Policy{FirstFit, LeastLoaded, InterferenceAware} }
+
+// PolicyByName resolves a policy from its String form.
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range Policies() {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// debugPlace dumps interference-aware placement decisions (tests).
+var debugPlace bool
+
+// overfullPenalty soft-forbids exceeding the committed-vCPU capacity:
+// an over-capacity host is chosen only when every host is over.
+const overfullPenalty = 1000.0
+
+// place picks a host for hd under the configured policy. Ties always
+// break to the lowest host ID, keeping placement deterministic.
+func (c *Cluster) place(hd *VMHandle) *Host {
+	n := hd.Spec.VCPUs
+	cap := c.capacity()
+	switch c.cfg.Policy {
+	case FirstFit:
+		for _, h := range c.hosts {
+			if h.committed+n <= cap {
+				return h
+			}
+		}
+		return c.leastCommitted()
+	case InterferenceAware:
+		// Act on a fresh window rather than the last monitor tick.
+		c.refreshSignals()
+		best, bestScore := (*Host)(nil), 0.0
+		for _, h := range c.hosts {
+			s := c.placementScore(h, hd, cap)
+			if debugPlace {
+				fmt.Printf("  t=%v place %s: %s score=%.3f (busy=%.3f steal=%.3f wait=%.3f lhp=%.1f sens=%d committed=%d)\n",
+					c.eng.Now(), hd.Spec.Name, h.Name(), s, h.busyFrac, h.stealFrac, h.waitFrac, h.lhpRate, h.sensitive, h.committed)
+			}
+			if best == nil || s < bestScore {
+				best, bestScore = h, s
+			}
+		}
+		return best
+	default: // LeastLoaded
+		return c.leastCommitted()
+	}
+}
+
+// leastCommitted returns the host with the fewest committed vCPUs.
+func (c *Cluster) leastCommitted() *Host {
+	best := c.hosts[0]
+	for _, h := range c.hosts[1:] {
+		if h.committed < best.committed {
+			best = h
+		}
+	}
+	return best
+}
+
+// placementScore estimates how bad placing hd on h would be, from the
+// measured signal plus the projected post-placement utilization
+// (measured busy fraction + the newcomer's declared pressure): what the
+// host would do to a sensitive newcomer (measured contention, projected
+// CPU scarcity), what the newcomer's pressure would do to resident
+// sensitive VMs (only when CPU becomes scarce), a mild committed-load
+// tiebreak, and a large penalty for exceeding capacity.
+func (c *Cluster) placementScore(h *Host, hd *VMHandle, cap int) float64 {
+	uProj := h.busyFrac + hd.Spec.Pressure/float64(c.cfg.PCPUsPerHost)
+	s := 0.05 * float64(h.committed) / float64(cap)
+	if hd.Spec.Sensitive {
+		s += h.Interference()
+		if uProj > 0.8 {
+			s += 4 * (uProj - 0.8)
+		}
+	}
+	s += hd.Spec.Pressure * float64(h.sensitive) * scarcity(uProj)
+	if h.committed+hd.Spec.VCPUs > cap {
+		s += overfullPenalty
+	}
+	return s
+}
+
+// scarcity maps projected utilization to contention likelihood: free
+// below 50%, certain at saturation.
+func scarcity(u float64) float64 {
+	switch {
+	case u <= 0.5:
+		return 0
+	case u >= 1.0:
+		return 1
+	default:
+		return (u - 0.5) / 0.5
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import "repro/internal/sim"
+
+// The router is the cluster's front door: an open-loop Poisson stream
+// of requests, each dispatched to the live server replica with the
+// least outstanding work (queued + in service), ties to the earliest
+// admitted replica. A replica under migration is cordoned so its queue
+// drains before the switchover; when no replica is available at all
+// (early arrivals, every server mid-blackout switchover) the request is
+// held back and flushed as soon as a gate opens, original timestamp
+// intact, so its wait shows up in the measured latency.
+
+// nextArrival generates one cluster request and re-arms itself until
+// the stream duration elapses.
+func (c *Cluster) nextArrival() {
+	now := c.eng.Now()
+	if now >= c.cfg.Duration {
+		return
+	}
+	c.generated++
+	c.route(now)
+	c.eng.After(c.arrivalRNG.Exp(c.cfg.Arrival), "cluster-arrival", c.nextArrival)
+}
+
+// route dispatches one request stamped with its arrival time.
+func (c *Cluster) route(arrival sim.Time) {
+	var best *VMHandle
+	bestLoad := 0
+	for _, hd := range c.servers {
+		if !hd.admitted || hd.migrating || hd.gate == nil || hd.gate.Closed() {
+			continue
+		}
+		load := hd.gate.QueueLen() + int(hd.gate.InFlight())
+		if best == nil || load < bestLoad {
+			best, bestLoad = hd, load
+		}
+	}
+	if best == nil {
+		c.buffered = append(c.buffered, arrival)
+		return
+	}
+	best.gate.Submit(arrival)
+	best.routed++
+}
+
+// flushBuffered re-routes requests held back while no replica was
+// available.
+func (c *Cluster) flushBuffered() {
+	if len(c.buffered) == 0 {
+		return
+	}
+	held := c.buffered
+	c.buffered = nil
+	for _, arrival := range held {
+		c.route(arrival)
+	}
+}

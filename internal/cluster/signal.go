@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"repro/internal/hypervisor"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// The interference signal is read from each host's obs registry — the
+// same telemetry a real deployment scrapes: cumulative per-vCPU
+// runstate nanoseconds (running = busy, runnable = steal), the per-VM
+// preempt-wait histograms, and the lock-holder-preemption counters.
+// Runstate counters advance on transitions, so the reader first asks
+// the hypervisor to fold the accruing intervals in
+// (SyncRunstateAccounting); the registry then holds exact values.
+
+// hostCumulative sums the host's cumulative signal counters, in
+// nanoseconds (busy, steal, wait) and events (lhp).
+func hostCumulative(h *Host) (busy, steal, wait, lhp float64) {
+	h.HV.SyncRunstateAccounting()
+	for _, vm := range h.HV.VMs() {
+		vmL := obs.Labels{Sub: "hv", VM: vm.Name}
+		if hist := h.Reg.FindHistogram("hv_preempt_wait_ns", vmL); hist != nil {
+			wait += float64(hist.Sum())
+		}
+		if ctr := h.Reg.FindCounter("hv_lhp_total", vmL); ctr != nil {
+			lhp += float64(ctr.Value())
+		}
+		b, s := vmCumulativeRunstates(h.Reg, vm.Name, vm.VCPUs)
+		busy += b
+		steal += s
+	}
+	return busy, steal, wait, lhp
+}
+
+// vmCumulativeRunstates reads one VM's summed running/runnable
+// nanoseconds from the registry.
+func vmCumulativeRunstates(reg *obs.Registry, vmName string, vcpus []*hypervisor.VCPU) (busy, steal float64) {
+	for _, v := range vcpus {
+		base := obs.Labels{Sub: "hv", VM: vmName, CPU: v.Name()}
+		run := base
+		run.Kind = "running"
+		if ctr := reg.FindCounter("hv_runstate_ns", run); ctr != nil {
+			busy += float64(ctr.Value())
+		}
+		rq := base
+		rq.Kind = "runnable"
+		if ctr := reg.FindCounter("hv_runstate_ns", rq); ctr != nil {
+			steal += float64(ctr.Value())
+		}
+	}
+	return busy, steal
+}
+
+// refreshSignals recomputes every host's windowed interference
+// fractions and every server VM's steal delta since the last refresh.
+// A zero-length window keeps the previous values.
+func (c *Cluster) refreshSignals() {
+	now := c.eng.Now()
+	window := float64(now - c.lastRefresh)
+	if window <= 0 {
+		return
+	}
+	c.lastRefresh = now
+	for _, h := range c.hosts {
+		busy, steal, wait, lhp := hostCumulative(h)
+		norm := window * float64(c.cfg.PCPUsPerHost)
+		h.busyFrac = (busy - h.prevBusy) / norm
+		h.stealFrac = (steal - h.prevSteal) / norm
+		h.waitFrac = (wait - h.prevWait) / norm
+		h.lhpRate = (lhp - h.prevLHP) / (window / float64(sim.Second))
+		h.prevBusy, h.prevSteal, h.prevWait, h.prevLHP = busy, steal, wait, lhp
+	}
+	for _, hd := range c.servers {
+		if !hd.admitted || hd.vm == nil {
+			continue
+		}
+		_, steal := vmCumulativeRunstates(hd.host.Reg, hd.vm.Name, hd.vm.VCPUs)
+		hd.stealFrac = (steal - hd.prevSteal) / (window * float64(hd.Spec.VCPUs))
+		if hd.stealFrac < 0 {
+			hd.stealFrac = 0
+		}
+		hd.prevSteal = steal
+	}
+}

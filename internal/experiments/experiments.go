@@ -368,6 +368,8 @@ func ByID(id string, opt Options) (Table, bool) {
 		return ObsCounters(opt), true
 	case "chaos":
 		return Chaos(opt), true
+	case "cluster":
+		return Cluster(opt), true
 	default:
 		return Table{}, false
 	}
@@ -379,5 +381,5 @@ func IDs() []string {
 	return []string{"fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sadelay",
 		"ab-pull", "ab-salimit", "ab-ticket", "ab-spinblock", "ab-strictco",
-		"claims", "obs", "chaos"}
+		"claims", "obs", "chaos", "cluster"}
 }

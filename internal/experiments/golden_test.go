@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden corpus pins the rendered output of the cheap, fully
+// deterministic experiment tables at Runs=1, Seed=1. Any change to the
+// simulator, the scheduling strategies, the cluster layer, or the table
+// rendering that shifts a single byte fails here; when the change is
+// intentional, regenerate with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+
+var update = flag.Bool("update", false, "rewrite the golden experiment tables")
+
+func goldenOptions() Options {
+	return Options{Runs: 1, Seed: 1, Workers: 1}
+}
+
+func goldenIDs() []string {
+	return []string{"fig1a", "fig1b", "claims", "chaos", "cluster"}
+}
+
+func TestGoldenTables(t *testing.T) {
+	for _, id := range goldenIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tb, ok := ByID(id, goldenOptions())
+			if !ok {
+				t.Fatalf("unknown experiment %q", id)
+			}
+			got := tb.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden.\n--- got ---\n%s--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}
+
+func TestGoldenMatchesParallelHarness(t *testing.T) {
+	// The goldens are generated serially; the parallel harness must
+	// produce the identical bytes.
+	opt := goldenOptions()
+	opt.Workers = 4
+	for _, id := range []string{"fig1a", "cluster"} {
+		tb, _ := ByID(id, opt)
+		want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
+		if err != nil {
+			t.Skipf("no golden: %v", err)
+		}
+		if tb.String() != string(want) {
+			t.Errorf("%s: parallel harness output differs from serial golden", id)
+		}
+	}
+}
+
+func TestGoldenDetectsPerturbation(t *testing.T) {
+	// Sanity on the corpus itself: the pinned bytes really do depend on
+	// the simulation, not just the headers — a different seed must not
+	// match the seed-1 golden.
+	want, err := os.ReadFile(filepath.Join("testdata", "cluster.golden"))
+	if err != nil {
+		t.Skipf("no golden: %v", err)
+	}
+	tb, _ := ByID("cluster", Options{Runs: 1, Seed: 99, Workers: 1})
+	if tb.String() == string(want) {
+		t.Fatal("seed-99 cluster table matches the seed-1 golden; corpus pins nothing")
+	}
+}

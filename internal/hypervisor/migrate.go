@@ -1,0 +1,109 @@
+package hypervisor
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file holds the hypervisor half of whole-VM migration: extracting
+// a scheduler-state snapshot of a VM on the source host and seeding a
+// freshly created VM on the destination host with it. The cluster layer
+// models the data-plane costs (pre-copy delay, switchover pause) and
+// carries the guest's queued work; the hypervisor contributes the
+// scheduler state so credit balances and priorities survive the move
+// instead of resetting to a fresh VM's defaults.
+
+// VCPUSnapshot carries one vCPU's scheduler state across a migration.
+type VCPUSnapshot struct {
+	Credits   int
+	Prio      Priority
+	RunTime   sim.Time // cumulative execution on the source at snapshot time
+	StealTime sim.Time // cumulative steal on the source at snapshot time
+}
+
+// VMSnapshot is the migratable scheduler state of a whole VM.
+type VMSnapshot struct {
+	Name      string
+	Weight    int
+	SACapable bool
+	At        sim.Time // when the snapshot was taken
+	LHP, LWP  int64
+	VCPUs     []VCPUSnapshot
+}
+
+// SnapshotVM captures vm's migratable scheduler state at the current
+// instant. The VM keeps running on the source host; pre-copy rounds are
+// modeled by the caller as delay before the switchover pause.
+func (h *Hypervisor) SnapshotVM(vm *VM) VMSnapshot {
+	snap := VMSnapshot{
+		Name:      vm.Name,
+		Weight:    vm.Weight,
+		SACapable: vm.SACapable,
+		At:        h.eng.Now(),
+		LHP:       vm.LHPCount,
+		LWP:       vm.LWPCount,
+	}
+	for _, v := range vm.VCPUs {
+		snap.VCPUs = append(snap.VCPUs, VCPUSnapshot{
+			Credits:   v.credits,
+			Prio:      v.prio,
+			RunTime:   v.RunTime(),
+			StealTime: v.StealTime(),
+		})
+	}
+	return snap
+}
+
+// RestoreVM seeds a freshly created, not-yet-started VM with the
+// scheduler state from snap. It must run before StartVCPU so the
+// restored credit balances take effect on first dispatch. The vCPU
+// count must match. Runstate clocks restart from zero: run/steal time
+// is per-host accounting and stays with the source. A BOOST priority
+// does not survive the move — the destination treats the vCPU as a
+// plain wakeup.
+func (h *Hypervisor) RestoreVM(vm *VM, snap VMSnapshot) error {
+	if len(vm.VCPUs) != len(snap.VCPUs) {
+		return fmt.Errorf("hypervisor: restore %s: VM has %d vCPUs, snapshot has %d",
+			vm.Name, len(vm.VCPUs), len(snap.VCPUs))
+	}
+	for _, v := range vm.VCPUs {
+		if v.started || v.state != StateOffline {
+			return fmt.Errorf("hypervisor: restore %s: %s is already started", vm.Name, v.Name())
+		}
+	}
+	for i, v := range vm.VCPUs {
+		s := snap.VCPUs[i]
+		if s.Credits < creditFloor || s.Credits > creditCap {
+			return fmt.Errorf("hypervisor: restore %s: snapshot credits %d outside [%d, %d]",
+				vm.Name, s.Credits, creditFloor, creditCap)
+		}
+		v.credits = s.Credits
+		switch s.Prio {
+		case PrioBoost, 0:
+			v.prio = PrioUnder
+		default:
+			v.prio = s.Prio
+		}
+	}
+	vm.Weight = snap.Weight
+	vm.LHPCount = snap.LHP
+	vm.LWPCount = snap.LWP
+	return nil
+}
+
+// SyncRunstateAccounting folds every started vCPU's currently accruing
+// runstate interval into its cumulative counters and obs metrics.
+// Runstate counters normally advance only on state transitions, so a
+// vCPU that runs (or starves) continuously is invisible to registry
+// readers until its next transition; callers sampling the registry as a
+// load signal invoke this first to see exact values.
+func (h *Hypervisor) SyncRunstateAccounting() {
+	for _, vm := range h.vms {
+		for _, v := range vm.VCPUs {
+			if v.started {
+				v.setState(v.state)
+			}
+		}
+	}
+}

@@ -22,6 +22,9 @@ type openServerShared struct {
 	kern     *guest.Kernel
 	genRNG   *sim.RNG
 	Dropped  int64
+	// gate is non-nil in remote-gate mode (NewRemoteServer): arrivals
+	// are pushed in by an external router instead of generated here.
+	gate *RemoteGate
 }
 
 type openSleeper struct {
@@ -62,13 +65,24 @@ func (w *openWorker) take(t *guest.Task, resume func()) {
 	}
 	arrival := sh.queue[0]
 	sh.queue = sh.queue[1:]
+	if g := sh.gate; g != nil {
+		g.inflight++
+	}
 	service := w.rng.Exp(sh.spec.Service)
 	t.Kernel().RunInTask(t, service, func() {
 		now := t.Kernel().Now()
 		sh.stats.Requests++
-		sh.stats.Latency.Add(now - arrival)
+		lat := now - arrival
+		sh.stats.Latency.Add(lat)
 		if el := now - sh.startedAt; el > sh.stats.Elapsed {
 			sh.stats.Elapsed = el
+		}
+		if g := sh.gate; g != nil {
+			g.inflight--
+			g.served++
+			if g.OnServed != nil {
+				g.OnServed(lat)
+			}
 		}
 		resume()
 	})
