@@ -8,9 +8,9 @@ GO ?= go
 # cmd/benchjson and DESIGN.md §9).
 BENCH_SNAPSHOT ?= BENCH_3.json
 
-.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame
 
-check: build vet race examples
+check: build vet race examples blame
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,11 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -o bench.new.json < bench.new.out
 	$(GO) run ./cmd/benchjson -compare $(BENCH_SNAPSHOT) bench.new.json -tolerance 0.15
 	@rm -f bench.new.out bench.new.json
+
+# Latency blame attribution smoke run: per-strategy p50/p99/p99.9
+# category breakdowns plus the slowest requests' critical paths.
+blame:
+	$(GO) run ./cmd/irsblame -strategy vanilla,irs -duration 500ms -top 3
 
 # Telemetry smoke run: summary + all three exports for vanilla vs IRS.
 report:

@@ -1,0 +1,160 @@
+// Command irsblame runs the bully workload with causal span tracing
+// enabled and prints, per scheduling strategy, the end-to-end latency
+// blame breakdown: which scheduler pathology (preemption wait, LHP
+// spinning, SA handshakes, queueing, migration downtime, ...) owns what
+// share of the p50/p99/p99.9 request cohorts, plus the critical paths
+// of the slowest individual requests. With -perfetto it also writes the
+// slowest requests' nested span trees as a Chrome/Perfetto trace.
+//
+// Usage:
+//
+//	irsblame [-strategy vanilla,irs] [-seed 1] [-top 3]
+//	         [-duration 2s] [-arrival 500µs] [-perfetto spans.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/span"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("irsblame", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strategies := fs.String("strategy", "vanilla,irs", "comma-separated strategies: vanilla | ple | irs")
+	seed := fs.Uint64("seed", 1, "random seed")
+	top := fs.Int("top", 3, "slowest requests to show per strategy")
+	duration := fs.Duration("duration", time.Duration(experiments.DefaultBlameDuration), "request-stream duration (virtual time)")
+	arrival := fs.Duration("arrival", time.Duration(experiments.DefaultBlameArrival), "mean request inter-arrival time")
+	perfetto := fs.String("perfetto", "", "write the slowest requests' span trees to this file (Chrome/Perfetto trace JSON)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var variants []experiments.BlameVariant
+	for _, name := range strings.Split(*strategies, ",") {
+		v, ok := experiments.BlameVariantByName(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(stderr, "irsblame: unknown strategy %q (valid: vanilla, ple, irs)\n", name)
+			return 2
+		}
+		variants = append(variants, v)
+	}
+	if len(variants) == 0 {
+		fmt.Fprintln(stderr, "irsblame: no strategies selected")
+		return 2
+	}
+
+	var sets []span.TrackSet
+	for _, v := range variants {
+		spans, err := experiments.BlameRun(v.Strat, *seed, sim.Duration(*duration), sim.Duration(*arrival))
+		if err != nil {
+			fmt.Fprintf(stderr, "irsblame: %s: %v\n", v.Name, err)
+			return 1
+		}
+		an := span.Analyze(spans, obs.DefaultSketchAlpha)
+		printAnalysis(stdout, v.Name, an, *top)
+		sets = append(sets, span.TrackSet{Name: v.Name, Spans: an.Slowest(*top)})
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintf(stderr, "irsblame: %v\n", err)
+			return 1
+		}
+		werr := span.WriteChromeSpans(f, sets)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "irsblame: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote perfetto span trace to %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+	return 0
+}
+
+// printAnalysis renders one strategy's blame breakdown.
+func printAnalysis(w io.Writer, name string, an *span.Analysis, top int) {
+	fmt.Fprintf(w, "== %s: %d requests, p50 %v p99 %v p99.9 %v ==\n",
+		name, an.Requests,
+		time.Duration(an.Wall.Percentile(50)),
+		time.Duration(an.Wall.Percentile(99)),
+		time.Duration(an.Wall.Percentile(99.9)))
+	fmt.Fprintf(w, "conservation: %d violations, max error %v\n", an.Violations, time.Duration(an.MaxError))
+	for _, b := range an.Bands {
+		fmt.Fprintf(w, "  %-6s %5d reqs  %s\n", b.Label, b.Requests, shareLine(b.Shares, 5))
+	}
+	if top <= 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, "slowest %d requests:\n", top)
+	for _, sp := range an.Slowest(top) {
+		fmt.Fprintf(w, "  #%d wall %v: %s\n", sp.ID, time.Duration(sp.Wall()), shareLine(sp.TopContributors(4), 4))
+		fmt.Fprintf(w, "    %s\n", criticalPath(sp, 12))
+	}
+	fmt.Fprintln(w)
+}
+
+// shareLine renders the top-k category shares as "cat pct (time)".
+func shareLine(shares []span.CategoryShare, k int) string {
+	var parts []string
+	for i, s := range shares {
+		if i >= k {
+			parts = append(parts, fmt.Sprintf("(+%d more)", len(shares)-k))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f%% (%v)", s.Cat, s.Share*100, time.Duration(s.Time)))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// criticalPath renders the span's segment timeline, phase by phase. A
+// request span is single-threaded, so the whole timeline IS the
+// critical path; long chains are truncated to maxSegs segments.
+func criticalPath(sp *span.Span, maxSegs int) string {
+	var b strings.Builder
+	segs := 0
+	for pi, ph := range sp.Phases {
+		if pi > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s[", ph.Name)
+		for si, seg := range ph.Segments {
+			if segs >= maxSegs {
+				fmt.Fprintf(&b, " …+%d", sp.SegmentCount()-segs)
+				segs = sp.SegmentCount()
+				break
+			}
+			if si > 0 {
+				b.WriteString(" → ")
+			}
+			fmt.Fprintf(&b, "%s %v", seg.Cat, time.Duration(seg.Dur()))
+			segs++
+		}
+		b.WriteByte(']')
+		if segs >= maxSegs && pi < len(sp.Phases)-1 {
+			fmt.Fprintf(&b, " …")
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown strategy", []string{"-strategy", "nope"}, 2},
+		{"empty strategy list", []string{"-strategy", ""}, 2},
+		{"bad flag", []string{"-frobnicate"}, 2},
+		{"unwritable perfetto path", []string{"-duration", "50ms", "-strategy", "vanilla", "-perfetto", "/nonexistent-dir/x.json"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.code {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, tc.code, errb.String())
+			}
+		})
+	}
+}
+
+func TestBlameOutputDeterministic(t *testing.T) {
+	args := []string{"-duration", "300ms", "-top", "2", "-strategy", "vanilla,irs"}
+	render := func() string {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	first := render()
+	for _, want := range []string{
+		"== vanilla:", "== irs:",
+		"conservation: 0 violations, max error 0s",
+		"p99", "slowest 2 requests:",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("output missing %q:\n%s", want, first)
+		}
+	}
+	if second := render(); first != second {
+		t.Fatal("two identical invocations produced different bytes")
+	}
+}
+
+func TestPerfettoExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.json")
+	var out, errb bytes.Buffer
+	args := []string{"-duration", "200ms", "-top", "2", "-strategy", "vanilla,irs", "-perfetto", path}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote perfetto span trace") {
+		t.Fatal("no perfetto confirmation line")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("perfetto file has no events")
+	}
+	// Both strategies must appear as named processes.
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "process_name" {
+			if args, ok := e["args"].(map[string]any); ok {
+				names[args["name"].(string)] = true
+			}
+		}
+	}
+	if !names["vanilla"] || !names["irs"] {
+		t.Fatalf("process names = %v, want vanilla and irs", names)
+	}
+}

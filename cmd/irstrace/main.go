@@ -107,7 +107,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, e)
 		shown++
 	}
-	fmt.Fprintf(stdout, "\n%d events shown (window %v..%v); totals: %s\n", shown, from, to, log.Summary())
+	fmt.Fprintf(stdout, "\n%d events shown (window %v..%v, %d dropped at capacity); totals: %s\n",
+		shown, from, to, log.Dropped(), log.Summary())
 	fmt.Fprintf(stdout, "runtime=%v SA sent/acked/expired=%d/%d/%d\n",
 		res.VM("fg").Runtime, res.SASent, res.SAAcked, res.SAExpired)
 	return 0

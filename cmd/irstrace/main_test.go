@@ -40,6 +40,11 @@ func TestTraceDumpsWindowDeterministically(t *testing.T) {
 	if !strings.Contains(out, "events shown") || !strings.Contains(out, "runtime=") {
 		t.Fatalf("trace summary missing:\n%s", out)
 	}
+	// The ring-buffer drop counter is part of the summary: readers must
+	// be able to tell a complete window from a truncated one.
+	if !strings.Contains(out, "dropped at capacity") {
+		t.Fatalf("summary does not surface the dropped-event count:\n%s", out)
+	}
 	code2, out2, _ := runCmd(t, args...)
 	if code2 != 0 || out2 != out {
 		t.Fatalf("rerun differs (exit %d)", code2)

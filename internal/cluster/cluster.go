@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/workload"
 )
 
@@ -140,6 +141,11 @@ type Config struct {
 	// are applied.
 	TuneHV    func(*hypervisor.Config)
 	TuneGuest func(*guest.Config)
+
+	// Spans, when non-nil, mints a causal blame span for every routed
+	// request; the span rides the request through replica queues, guest
+	// scheduling, and migration carry-over (see internal/span).
+	Spans *span.Tracer
 }
 
 // DefaultConfig returns the standard consolidation rig: three 4-pCPU
@@ -262,7 +268,7 @@ type VMHandle struct {
 	// Server-only routing state.
 	gate    *workload.RemoteGate
 	gates   []*workload.RemoteGate // every generation, for conservation audits
-	carried []sim.Time             // queued arrivals in transit during a switchover
+	carried []workload.Request     // queued requests in transit during a switchover
 	routed  int64
 
 	prevSteal float64 // cumulative VM steal at last signal refresh
@@ -300,7 +306,7 @@ type Cluster struct {
 
 	stats         *workload.ServerStats
 	generated     int64
-	buffered      []sim.Time // arrivals held back while no replica is live
+	buffered      []workload.Request // arrivals held back while no replica is live
 	sloViolations int64
 	migrations    int64
 	lastRefresh   sim.Time

@@ -132,8 +132,8 @@ func (c *Cluster) completeMigration(hd *VMHandle, dest *Host, snap hypervisor.VM
 	c.boot(hd, dest, &snap)
 	carried := hd.carried
 	hd.carried = nil
-	for _, arrival := range carried {
-		hd.gate.Submit(arrival)
+	for _, req := range carried {
+		hd.gate.SubmitReq(req)
 	}
 	hd.migrating = false
 	c.migrations++

@@ -1,6 +1,6 @@
 package cluster
 
-import "repro/internal/sim"
+import "repro/internal/workload"
 
 // The router is the cluster's front door: an open-loop Poisson stream
 // of requests, each dispatched to the live server replica with the
@@ -19,12 +19,14 @@ func (c *Cluster) nextArrival() {
 		return
 	}
 	c.generated++
-	c.route(now)
+	// Admission is where the causal span is born: everything that happens
+	// to the request from here on is somebody's fault.
+	c.route(workload.Request{Arrival: now, Span: c.cfg.Spans.Start(now)})
 	c.eng.After(c.arrivalRNG.Exp(c.cfg.Arrival), "cluster-arrival", c.nextArrival)
 }
 
 // route dispatches one request stamped with its arrival time.
-func (c *Cluster) route(arrival sim.Time) {
+func (c *Cluster) route(req workload.Request) {
 	var best *VMHandle
 	bestLoad := 0
 	for _, hd := range c.servers {
@@ -37,10 +39,10 @@ func (c *Cluster) route(arrival sim.Time) {
 		}
 	}
 	if best == nil {
-		c.buffered = append(c.buffered, arrival)
+		c.buffered = append(c.buffered, req)
 		return
 	}
-	best.gate.Submit(arrival)
+	best.gate.SubmitReq(req)
 	best.routed++
 }
 
@@ -52,7 +54,7 @@ func (c *Cluster) flushBuffered() {
 	}
 	held := c.buffered
 	c.buffered = nil
-	for _, arrival := range held {
-		c.route(arrival)
+	for _, req := range held {
+		c.route(req)
 	}
 }

@@ -109,6 +109,7 @@ func (k *Kernel) moveTask(t *Task, dst *CPU) {
 		k.cfg.Trace.Recordf(k.eng.Now(), trace.KindMigrate, t.Name, "cpu%d -> cpu%d", from, dst.id)
 	}
 	dst.rq.Enqueue(t)
+	k.spanSync(t)
 }
 
 // selectCPUForWake chooses where a waking task should run: its previous

@@ -223,6 +223,7 @@ func (c *CPU) bankCur() {
 		t.spin.timeoutEv = sim.EventRef{}
 	}
 	c.executing = false
+	c.kern.spanSync(t)
 }
 
 // execAfter runs fn after the given kernel-path cost, unless the vCPU
@@ -297,6 +298,7 @@ func (c *CPU) startCur() {
 		// Keep spinning: burn CPU until granted, timed out or preempted.
 		c.executing = true
 		c.curStart = c.kern.Now()
+		c.kern.spanSync(t)
 		c.kern.hv.SpinBegin(c.vcpu)
 		if sw.budget > 0 {
 			sw.timeoutEv = c.kern.eng.After(sw.budget-sw.spent, "spin-budget-"+t.Name, func() {
@@ -308,6 +310,7 @@ func (c *CPU) startCur() {
 	if t.segRemaining > 0 {
 		c.executing = true
 		c.curStart = c.kern.Now()
+		c.kern.spanSync(t)
 		done := t.segDone
 		c.completion = c.kern.eng.After(t.segRemaining, "seg-"+t.Name, func() {
 			if c.cur != t {
@@ -340,6 +343,7 @@ func (c *CPU) endSpin(t *Task, sw *spinWait) {
 	c.kern.eng.Cancel(sw.timeoutEv)
 	sw.timeoutEv = sim.EventRef{}
 	t.spin = nil
+	t.spinHolder = nil
 	t.WaitingLock = false
 	c.kern.hv.SpinEnd(c.vcpu)
 }
@@ -394,6 +398,7 @@ func (c *CPU) dispatchTask(next *Task) {
 	c.cur = next
 	c.sliceUsed = 0
 	c.Switches++
+	c.kern.spanSync(next)
 	if !c.tickArmed {
 		c.armTick(c.kern.Now())
 	}
@@ -424,6 +429,7 @@ func (c *CPU) preemptLocal() {
 	t.state = TaskReady
 	c.cur = nil
 	c.rq.Enqueue(t)
+	c.kern.spanSync(t)
 	c.schedule()
 }
 
@@ -555,6 +561,7 @@ func (c *CPU) preemptLocalDeferred() {
 	t.state = TaskReady
 	c.cur = nil
 	c.rq.Enqueue(t)
+	c.kern.spanSync(t)
 	// Task selection happens in the startCur that follows the IRQ.
 }
 

@@ -34,6 +34,7 @@ func (c *CPU) finishSAUpcall() {
 		t.state = TaskMigrating
 		t.MarkDisplaced(c)
 		c.cur = nil
+		k.spanSync(t)
 		k.migrator.submit(t)
 	}
 	// Acknowledge: block when the runqueue is empty, else yield so the
@@ -209,6 +210,7 @@ func (m *migrator) migrate(item migrItem) {
 		t.state = TaskReady
 		t.cpu = src
 		src.rq.Enqueue(t)
+		k.spanSync(t)
 		k.kickCPU(src)
 		return
 	}

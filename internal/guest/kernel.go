@@ -7,6 +7,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -68,6 +69,11 @@ type Config struct {
 	// collection.
 	Metrics *obs.Registry
 
+	// Spans, when non-nil, is the tracer request-serving workloads on
+	// this kernel mint blame spans from (see internal/span). Nil
+	// disables causal tracing at zero cost.
+	Spans *span.Tracer
+
 	// SpinBeforeBlock is the adaptive-spin budget blocking primitives
 	// burn before sleeping (futex/adaptive-mutex pre-sleep spinning).
 	// This short spinning is what pause-loop exiting punishes on
@@ -122,6 +128,9 @@ type Kernel struct {
 	liveTasks  int
 
 	migrator *migrator
+	// spanObs is set once the per-vCPU span observers are registered
+	// (first AttachSpan).
+	spanObs bool
 
 	// OnAllExited fires once every spawned task has exited.
 	OnAllExited func()
@@ -316,6 +325,7 @@ func (k *Kernel) BlockTask(t *Task) {
 	c.bankCur()
 	t.state = TaskBlocked
 	c.cur = nil
+	k.spanSync(t)
 	k.traceTask(t, "blocked on cpu%d", c.id)
 	c.schedule()
 }
@@ -366,6 +376,7 @@ func (k *Kernel) WakeTask(t *Task, cont func()) {
 		t.vruntime = base
 	}
 	target.rq.Enqueue(t)
+	k.spanSync(t)
 	k.traceTask(t, "woken on cpu%d", target.id)
 	k.checkWakePreempt(target, t)
 	k.kickCPU(target)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // TaskState is the guest-kernel state of a task.
@@ -122,6 +123,14 @@ type Task struct {
 
 	spin *spinWait // non-nil while busy-waiting
 
+	// span, when non-nil, is the request this task is currently
+	// serving; every scheduling transition re-blames it (see span.go).
+	span *span.Span
+	// spinHolder, set by lock implementations for the duration of a
+	// spin wait, reports who holds the awaited lock so spin time can be
+	// blamed on lock-holder preemption when the holder is stalled.
+	spinHolder func() *Task
+
 	// Lock bookkeeping for LHP/LWP classification.
 	LocksHeld   int
 	WaitingLock bool
@@ -150,6 +159,14 @@ func (t *Task) CPU() *CPU { return t.cpu }
 
 // Spinning reports whether the task is busy-waiting.
 func (t *Task) Spinning() bool { return t.spin != nil }
+
+// Span returns the request span bound to this task, if any.
+func (t *Task) Span() *span.Span { return t.span }
+
+// SetSpinHolder declares who holds the lock the task is about to spin
+// on; lock implementations call it just before SpinTask and the kernel
+// clears it when the spin ends.
+func (t *Task) SetSpinHolder(fn func() *Task) { t.spinHolder = fn }
 
 // Kernel returns the guest kernel owning this task.
 func (t *Task) Kernel() *Kernel { return t.kern }

@@ -56,6 +56,9 @@ func (m *Mutex) Lock(t *guest.Task, cont func()) {
 		return
 	}
 	m.spinners = append(m.spinners, t)
+	// Let blame attribution see who we are spinning on: LHP when the
+	// holder is itself off-CPU, plain contention otherwise.
+	t.SetSpinHolder(func() *guest.Task { return m.owner })
 	m.kern.SpinTaskBounded(t, budget,
 		func() bool { return m.tryAcquire(t) },
 		cont,

@@ -296,6 +296,7 @@ func (h *Hypervisor) startSA(p *PCPU, v *VCPU) {
 	v.saDeadline = h.eng.After(h.cfg.SALimit, "xen-sa-limit-"+v.Name(), func() {
 		h.saExpire(p, v)
 	})
+	v.notifyObserver()
 	if tl := h.cfg.Trace; tl != nil {
 		tl.Record(now, trace.KindSA, v.Name(), "sent")
 	}
@@ -365,6 +366,7 @@ func (h *Hypervisor) saFail(v *VCPU) {
 	h.eng.Cancel(v.saDeadline)
 	v.saDeadline = sim.EventRef{}
 	v.saPending = false
+	v.notifyObserver()
 }
 
 // completeSA finishes the SA handshake after the guest's sched_op
@@ -384,6 +386,7 @@ func (h *Hypervisor) completeSA(v *VCPU, disposition RunState) {
 	h.eng.Cancel(v.saDeadline)
 	v.saDeadline = sim.EventRef{}
 	v.saPending = false
+	v.notifyObserver()
 	p.saWait = false
 	if tl := h.cfg.Trace; tl != nil {
 		tl.Recordf(h.eng.Now(), trace.KindSA, v.Name(), "acked after %s (%s)", delay, disposition)

@@ -165,6 +165,13 @@ type VCPU struct {
 	preemptions int64
 	wakeups     int64
 
+	// observer, when set, is called after every externally visible
+	// scheduling transition of this vCPU: a runstate change or an SA
+	// handshake opening/closing. The guest's span instrumentation uses
+	// it to re-blame the tasks riding on the vCPU; it is nil (and the
+	// notification free) otherwise.
+	observer func()
+
 	// Metric handles (nil, hence no-op, without a registry).
 	mState   [StateOffline + 1]*obs.Counter // cumulative ns per runstate
 	mPreempt *obs.Counter
@@ -199,9 +206,29 @@ func (v *VCPU) setState(s RunState) {
 	if tl := v.hv.cfg.Trace; tl != nil && s != v.state {
 		tl.Recordf(now, trace.KindVCPUState, v.Name(), "%s -> %s", v.state, s)
 	}
+	changed := s != v.state
 	v.state = s
 	v.stateSince = now
+	if changed {
+		v.notifyObserver()
+	}
 }
+
+// SetObserver registers fn to be invoked after every runstate change
+// and SA-handshake flip of this vCPU. One observer per vCPU; nil
+// unregisters.
+func (v *VCPU) SetObserver(fn func()) { v.observer = fn }
+
+func (v *VCPU) notifyObserver() {
+	if v.observer != nil {
+		v.observer()
+	}
+}
+
+// SAPending reports whether a scheduler-activation handshake is open:
+// the hypervisor sent VIRQ_SA_UPCALL and awaits the guest's sched_op
+// acknowledgement.
+func (v *VCPU) SAPending() bool { return v.saPending }
 
 // StateTime reports the cumulative time spent in state s, including the
 // currently accruing interval.

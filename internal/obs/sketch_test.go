@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// exactPercentile is the nearest-rank order statistic the sketch
+// approximates, computed from the full sorted sample.
+func exactPercentile(sorted []sim.Time, p float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestSketchRelativeErrorBound(t *testing.T) {
+	// Property: for heavy-tailed exponential-ish streams of many sizes
+	// and seeds, every quantile estimate stays within the advertised
+	// relative error of the true order statistic.
+	for _, alpha := range []float64{0.01, 0.05} {
+		for _, n := range []int{10, 137, 5000} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				rng := sim.NewRNG(seed * 7919)
+				s := NewSketch(alpha)
+				var vals []sim.Time
+				for i := 0; i < n; i++ {
+					v := rng.Exp(2 * sim.Millisecond)
+					vals = append(vals, v)
+					s.Add(v)
+				}
+				sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+				for _, p := range []float64{1, 25, 50, 90, 99, 99.9, 100} {
+					want := exactPercentile(vals, p)
+					got := s.Percentile(p)
+					// ±alpha relative, plus 1ns slack for integer rounding.
+					tol := sim.Time(alpha*float64(want)) + 1
+					if got < want-tol || got > want+tol {
+						t.Fatalf("alpha=%v n=%d seed=%d p%v: got %v, exact %v (tol %v)",
+							alpha, n, seed, p, got, want, tol)
+					}
+				}
+				if s.Count() != int64(n) {
+					t.Fatalf("count = %d, want %d", s.Count(), n)
+				}
+				if s.Min() != vals[0] || s.Max() != vals[n-1] {
+					t.Fatalf("min/max = %v/%v, want %v/%v", s.Min(), s.Max(), vals[0], vals[n-1])
+				}
+			}
+		}
+	}
+}
+
+func TestSketchMergeAssociative(t *testing.T) {
+	// Three shards of one stream must merge to the same sketch in any
+	// association order, and match the all-in-one sketch exactly.
+	rng := sim.NewRNG(42)
+	shards := make([][]sim.Time, 3)
+	var all []sim.Time
+	for i := 0; i < 3000; i++ {
+		v := rng.Exp(time500())
+		shards[i%3] = append(shards[i%3], v)
+		all = append(all, v)
+	}
+	build := func(vals ...[]sim.Time) *Sketch {
+		s := NewSketch(0.01)
+		for _, vs := range vals {
+			for _, v := range vs {
+				s.Add(v)
+			}
+		}
+		return s
+	}
+	// ((A ⊔ B) ⊔ C)
+	left := build(shards[0])
+	ab := build(shards[1])
+	left.Merge(ab)
+	left.Merge(build(shards[2]))
+	// (A ⊔ (B ⊔ C))
+	right := build(shards[0])
+	bc := build(shards[1])
+	bc.Merge(build(shards[2]))
+	right.Merge(bc)
+	// single stream
+	one := build(all)
+
+	for _, p := range []float64{0, 10, 50, 90, 99, 99.9, 100} {
+		lv, rv, ov := left.Percentile(p), right.Percentile(p), one.Percentile(p)
+		if lv != rv || lv != ov {
+			t.Fatalf("p%v: (A⊔B)⊔C=%v A⊔(B⊔C)=%v single=%v — merge is not exact", p, lv, rv, ov)
+		}
+	}
+	if left.Count() != one.Count() || left.Min() != one.Min() || left.Max() != one.Max() {
+		t.Fatal("merged count/min/max differ from the single-stream sketch")
+	}
+}
+
+func time500() sim.Time { return 500 * sim.Microsecond }
+
+func TestSketchZeroAndEmpty(t *testing.T) {
+	s := NewSketch(0.01)
+	if s.Percentile(99) != 0 || s.Count() != 0 {
+		t.Fatal("empty sketch must report zero")
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	s.Add(sim.Millisecond)
+	if got := s.Percentile(50); got != 0 {
+		t.Fatalf("p50 of mostly-zero stream = %v, want 0", got)
+	}
+	if got := s.Percentile(100); got < sim.Time(float64(sim.Millisecond)*0.99) {
+		t.Fatalf("p100 = %v, want ≈1ms", got)
+	}
+}
+
+func TestSketchMergeAlphaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging sketches with different alpha did not panic")
+		}
+	}()
+	a, b := NewSketch(0.01), NewSketch(0.02)
+	b.Add(sim.Millisecond)
+	a.Merge(b)
+}

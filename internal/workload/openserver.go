@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/guest"
+	"repro/internal/guestsync"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // Open-loop server mode: requests arrive from simulated external
@@ -15,9 +17,18 @@ import (
 // builds queues and its tail latency explodes well before throughput
 // does.
 
+// Request is one queued request: its original arrival stamp plus the
+// blame span riding with it (nil when causal tracing is off). The span
+// follows the request through queueing, worker binding, migration
+// carry-over, and service.
+type Request struct {
+	Arrival sim.Time
+	Span    *span.Span
+}
+
 type openServerShared struct {
 	*serverShared
-	queue    []sim.Time // arrival times of waiting requests
+	queue    []Request // waiting requests, arrival order
 	sleepers []openSleeper
 	kern     *guest.Kernel
 	genRNG   *sim.RNG
@@ -34,8 +45,9 @@ type openSleeper struct {
 
 // openWorker is one server thread in open-loop mode.
 type openWorker struct {
-	sh  *openServerShared
-	rng *sim.RNG
+	sh   *openServerShared
+	rng  *sim.RNG
+	reqs int
 }
 
 // Step implements guest.Program: take the next request or sleep.
@@ -63,19 +75,30 @@ func (w *openWorker) take(t *guest.Task, resume func()) {
 		t.Kernel().BlockTask(t)
 		return
 	}
-	arrival := sh.queue[0]
+	req := sh.queue[0]
 	sh.queue = sh.queue[1:]
 	if g := sh.gate; g != nil {
 		g.inflight++
 	}
+	if req.Span != nil {
+		// A worker owns the request from here: the span leaves the
+		// queue phase and starts tracking the task's scheduling fate.
+		req.Span.BeginPhase(t.Kernel().Now(), "service", span.CatKernel)
+		t.Kernel().AttachSpan(t, req.Span)
+	}
+	w.reqs++
+	locked := sh.spec.LockEvery > 0 && w.reqs%sh.spec.LockEvery == 0
 	service := w.rng.Exp(sh.spec.Service)
-	t.Kernel().RunInTask(t, service, func() {
+	finish := func() {
 		now := t.Kernel().Now()
 		sh.stats.Requests++
-		lat := now - arrival
+		lat := now - req.Arrival
 		sh.stats.Latency.Add(lat)
 		if el := now - sh.startedAt; el > sh.stats.Elapsed {
 			sh.stats.Elapsed = el
+		}
+		if sp := t.Kernel().DetachSpan(t); sp != nil {
+			sp.Finish(now)
 		}
 		if g := sh.gate; g != nil {
 			g.inflight--
@@ -85,6 +108,20 @@ func (w *openWorker) take(t *guest.Task, resume func()) {
 			}
 		}
 		resume()
+	}
+	t.Kernel().RunInTask(t, service, func() {
+		if !locked {
+			finish()
+			return
+		}
+		// Every LockEvery-th request touches the shared mutex for
+		// LockCS — the lock-holder-preemption surface of the open loop.
+		sh.mu.Lock(t, func() {
+			t.Kernel().RunInTask(t, sh.spec.LockCS, func() {
+				sh.mu.Unlock(t)
+				finish()
+			})
+		})
 	})
 }
 
@@ -100,7 +137,7 @@ func (sh *openServerShared) generate() {
 		}
 		return
 	}
-	sh.queue = append(sh.queue, now)
+	sh.queue = append(sh.queue, Request{Arrival: now, Span: sh.kern.Spans().Start(now)})
 	if len(sh.sleepers) > 0 {
 		s := sh.sleepers[0]
 		sh.sleepers = sh.sleepers[1:]
@@ -125,6 +162,9 @@ func newOpenServer(kern *guest.Kernel, spec ServerSpec, seed uint64, stats *Serv
 			kern: kern,
 		}
 		sh.genRNG = sh.rng.Fork(999)
+		if spec.LockEvery > 0 {
+			sh.mu = guestsync.NewMutex(kern)
+		}
 		for i := 0; i < spec.Threads; i++ {
 			w := &openWorker{sh: sh, rng: sh.rng.Fork(uint64(i))}
 			kern.Spawn(fmt.Sprintf("%s-%d", spec.Name, i), w, i%len(kern.CPUs()))

@@ -66,7 +66,7 @@ func TestRemoteGateCloseCarriesQueue(t *testing.T) {
 	// requests no worker picked up come back for the migration to carry.
 	eng, _, gate := remoteRig(t, 1, 10*sim.Millisecond)
 	const n = 10
-	var carried []sim.Time
+	var carried []workload.Request
 	eng.At(1*sim.Millisecond, "burst", func() {
 		for i := 0; i < n; i++ {
 			gate.Submit(eng.Now())
@@ -91,9 +91,9 @@ func TestRemoteGateCloseCarriesQueue(t *testing.T) {
 		t.Fatalf("served %d + carried %d != submitted %d", gate.Served(), len(carried), n)
 	}
 	// Carried stamps are the original arrival times, all ≤ close time.
-	for _, ts := range carried {
-		if ts > 5*sim.Millisecond {
-			t.Fatalf("carried stamp %v is later than the close", ts)
+	for _, req := range carried {
+		if req.Arrival > 5*sim.Millisecond {
+			t.Fatalf("carried stamp %v is later than the close", req.Arrival)
 		}
 	}
 	if gate.Close() != nil {
