@@ -8,9 +8,9 @@ GO ?= go
 # cmd/benchjson and DESIGN.md §9).
 BENCH_SNAPSHOT ?= BENCH_3.json
 
-.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch
 
-check: build vet race examples blame
+check: build vet race examples blame watch
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,12 @@ bench-compare:
 blame:
 	$(GO) run ./cmd/irsblame -strategy vanilla,irs -duration 500ms -top 3
 
+# Online SLO watchdog smoke run: the bully rig must page within one
+# slow window and attribution must rank the bully first. The incident
+# bundle (JSON + Perfetto trace) lands next to the repo root.
+watch:
+	$(GO) run ./cmd/irswatch -scenario bully -expect-top bully -dump incident
+
 # Telemetry smoke run: summary + all three exports for vanilla vs IRS.
 report:
 	$(GO) run ./cmd/irsreport -bench streamcluster -strategy vanilla,irs -inter 1
@@ -59,6 +65,7 @@ report:
 fuzz-smoke:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEventHeapOrdering -fuzztime 5s
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzParsePlan -fuzztime 5s
+	$(GO) test ./internal/watch -run '^$$' -fuzz FuzzParseRule -fuzztime 5s
 
 # Robustness sweep: fault rates vs strategies with invariant audits.
 chaos:

@@ -4,12 +4,15 @@
 // spinning, SA handshakes, queueing, migration downtime, ...) owns what
 // share of the p50/p99/p99.9 request cohorts, plus the critical paths
 // of the slowest individual requests. With -perfetto it also writes the
-// slowest requests' nested span trees as a Chrome/Perfetto trace.
+// slowest requests' nested span trees as a Chrome/Perfetto trace, and
+// with -csv the per-band category breakdown as a machine-readable
+// table.
 //
 // Usage:
 //
 //	irsblame [-strategy vanilla,irs] [-seed 1] [-top 3]
 //	         [-duration 2s] [-arrival 500µs] [-perfetto spans.json]
+//	         [-csv blame.csv]
 package main
 
 import (
@@ -39,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	duration := fs.Duration("duration", time.Duration(experiments.DefaultBlameDuration), "request-stream duration (virtual time)")
 	arrival := fs.Duration("arrival", time.Duration(experiments.DefaultBlameArrival), "mean request inter-arrival time")
 	perfetto := fs.String("perfetto", "", "write the slowest requests' span trees to this file (Chrome/Perfetto trace JSON)")
+	csvPath := fs.String("csv", "", "write the per-band blame breakdown to this file as CSV")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var sets []span.TrackSet
+	var csvRows [][]string
 	for _, v := range variants {
 		spans, err := experiments.BlameRun(v.Strat, *seed, sim.Duration(*duration), sim.Duration(*arrival))
 		if err != nil {
@@ -67,6 +72,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		an := span.Analyze(spans, obs.DefaultSketchAlpha)
 		printAnalysis(stdout, v.Name, an, *top)
 		sets = append(sets, span.TrackSet{Name: v.Name, Spans: an.Slowest(*top)})
+		csvRows = append(csvRows, blameCSVRows(v.Name, an)...)
+	}
+
+	if *csvPath != "" {
+		err := writeFileWith(*csvPath, func(w io.Writer) error {
+			return obs.WriteCSVTable(w, blameCSVHeader(), csvRows)
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "irsblame: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote blame breakdown CSV to %s\n", *csvPath)
 	}
 
 	if *perfetto != "" {
@@ -157,4 +174,43 @@ func criticalPath(sp *span.Span, maxSegs int) string {
 		}
 	}
 	return b.String()
+}
+
+// blameCSVHeader names the machine-readable breakdown's columns.
+func blameCSVHeader() []string {
+	return []string{"strategy", "band", "requests", "band_wall_ns",
+		"category", "time_ns", "share"}
+}
+
+// blameCSVRows flattens one strategy's per-band category breakdown
+// into CSV rows: one row per (band, category) with the time and share.
+func blameCSVRows(strategy string, an *span.Analysis) [][]string {
+	var rows [][]string
+	for _, b := range an.Bands {
+		for _, sh := range b.Shares {
+			rows = append(rows, []string{
+				strategy,
+				b.Label,
+				fmt.Sprintf("%d", b.Requests),
+				fmt.Sprintf("%d", int64(b.Wall)),
+				sh.Cat.String(),
+				fmt.Sprintf("%d", int64(sh.Time)),
+				fmt.Sprintf("%.6f", sh.Share),
+			})
+		}
+	}
+	return rows
+}
+
+// writeFileWith streams fn's output into a freshly created file.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := fn(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -90,3 +90,45 @@ func TestPerfettoExport(t *testing.T) {
 		t.Fatalf("process names = %v, want vanilla and irs", names)
 	}
 }
+
+func TestCSVExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blame.csv")
+	var out, errb bytes.Buffer
+	args := []string{"-duration", "200ms", "-top", "0", "-strategy", "vanilla,irs", "-csv", path}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote blame breakdown CSV") {
+		t.Fatal("no CSV confirmation line")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "strategy,band,requests,band_wall_ns,category,time_ns,share" {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if len(lines) < 8 {
+		t.Fatalf("only %d CSV lines, want both strategies' bands", len(lines))
+	}
+	both := map[string]bool{}
+	for _, ln := range lines[1:] {
+		fields := strings.Split(ln, ",")
+		if len(fields) != 7 {
+			t.Fatalf("row has %d fields: %q", len(fields), ln)
+		}
+		both[fields[0]] = true
+	}
+	if !both["vanilla"] || !both["irs"] {
+		t.Fatalf("strategies in CSV = %v, want vanilla and irs", both)
+	}
+}
+
+func TestCSVUnwritablePath(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-duration", "50ms", "-strategy", "vanilla", "-csv", "/nonexistent-dir/x.csv"}
+	if code := run(args, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}

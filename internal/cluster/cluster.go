@@ -25,6 +25,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/span"
+	"repro/internal/trace"
+	"repro/internal/watch"
 	"repro/internal/workload"
 )
 
@@ -146,6 +148,12 @@ type Config struct {
 	// request; the span rides the request through replica queues, guest
 	// scheduling, and migration carry-over (see internal/span).
 	Spans *span.Tracer
+
+	// Watch, when non-nil, attaches the online SLO watchdog: windowed
+	// telemetry, burn-rate alerting over the router's violation signal,
+	// noisy-neighbor attribution, and the incident flight recorder
+	// (see internal/watch). Runs without it pay nothing.
+	Watch *watch.Config
 }
 
 // DefaultConfig returns the standard consolidation rig: three 4-pCPU
@@ -300,6 +308,7 @@ type Cluster struct {
 	vms     []*VMHandle
 	servers []*VMHandle
 	checker *invariant.Checker
+	watcher *watch.Watcher
 
 	arrivalRNG  *sim.RNG
 	blackoutRNG *sim.RNG
@@ -357,6 +366,11 @@ func New(cfg Config) (*Cluster, error) {
 		stats:       &workload.ServerStats{Latency: &metrics.Reservoir{}},
 	}
 
+	if cfg.Watch != nil {
+		c.watcher = watch.New(*cfg.Watch)
+		c.watcher.Start(c.eng)
+	}
+
 	for i := 0; i < cfg.Hosts; i++ {
 		reg := obs.NewRegistry()
 		var inj *fault.Injector
@@ -376,12 +390,21 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.TuneHV != nil {
 			cfg.TuneHV(&hc)
 		}
-		c.hosts = append(c.hosts, &Host{
+		if c.watcher != nil && hc.Trace == nil {
+			// The flight recorder wants each host's recent scheduling
+			// events; a bounded ring keeps the cost flat.
+			hc.Trace = trace.NewLog(4096)
+		}
+		host := &Host{
 			ID:  i,
 			HV:  hypervisor.New(c.eng, hc),
 			Reg: reg,
 			inj: inj,
-		})
+		}
+		c.hosts = append(c.hosts, host)
+		if c.watcher != nil {
+			c.wireWatchHost(host, hc.Trace)
+		}
 	}
 
 	if cfg.Invariants {
@@ -391,6 +414,20 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.checker.Observe(c)
 		c.checker.Attach(c.eng)
+		if c.watcher != nil {
+			// A tripped invariant dumps an incident bundle while the
+			// scheduling context is still in the recorder's rings.
+			c.checker.OnViolation = func(v invariant.Violation) {
+				c.watcher.RecordInvariant(v.At, v.Rule, v.Detail)
+			}
+		}
+	}
+
+	if c.watcher != nil {
+		c.watcher.AddFeed(c.feedWatcher)
+		if cfg.Spans != nil {
+			cfg.Spans.OnFinish = c.watcher.Recorder().ObserveSpan
+		}
 	}
 
 	// VM arrivals, in a stable order at equal times.
@@ -433,6 +470,10 @@ func New(cfg Config) (*Cluster, error) {
 // Engine exposes the simulation engine (for tests).
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
 
+// Watcher returns the online SLO watchdog, or nil when Config.Watch
+// was not set.
+func (c *Cluster) Watcher() *watch.Watcher { return c.watcher }
+
 // Hosts returns the rack.
 func (c *Cluster) Hosts() []*Host { return c.hosts }
 
@@ -454,6 +495,7 @@ func (c *Cluster) admit(hd *VMHandle) {
 	hd.host = host
 	hd.admitted = true
 	hd.lastMove = c.eng.Now() // starts the migration residency clock
+	c.registerWatchVM(hd)
 	c.boot(hd, host, nil)
 	if hd.Spec.Kind == KindServer {
 		c.flushBuffered()
@@ -491,8 +533,12 @@ func (c *Cluster) boot(hd *VMHandle, host *Host, snap *hypervisor.VMSnapshot) {
 		}
 		inst, gate := workload.NewRemoteServer(kern, spec, gc.Seed^0x5e12e, c.stats)
 		gate.OnServed = func(lat sim.Time) {
-			if cfg.SLO > 0 && lat > cfg.SLO {
+			violated := cfg.SLO > 0 && lat > cfg.SLO
+			if violated {
 				c.sloViolations++
+			}
+			if c.watcher != nil {
+				c.watcher.ObserveRequest(c.eng.Now(), violated)
 			}
 		}
 		hd.inst = inst

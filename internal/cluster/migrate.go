@@ -129,6 +129,7 @@ func (c *Cluster) completeMigration(hd *VMHandle, dest *Host, snap hypervisor.VM
 	hd.gen++
 	hd.host = dest
 	hd.prevSteal = 0 // successor VM's steal clock restarts on dest
+	c.registerWatchVM(hd) // attribution follows the VM to its new host
 	c.boot(hd, dest, &snap)
 	carried := hd.carried
 	hd.carried = nil

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// signalRig builds a small busy cluster and runs it to 1s of virtual
+// time without invoking the periodic monitor refresh logic under test.
+func signalRig(t *testing.T) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Hosts = 2
+	cfg.Duration = 2 * sim.Second
+	cfg.Drain = 0
+	cfg.VMs = []VMSpec{
+		{Name: "srv0", Kind: KindServer, VCPUs: 2, Sensitive: true, Pressure: 0.8},
+		{Name: "ant0", Kind: KindAntagonist, VCPUs: 4, Pressure: 4},
+		{Name: "ant1", Kind: KindAntagonist, VCPUs: 4, Pressure: 4},
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.eng.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRefreshSignalsSingleWindow(t *testing.T) {
+	c := signalRig(t)
+	c.refreshSignals()
+	var busy float64
+	for _, h := range c.hosts {
+		if h.busyFrac < 0 || h.busyFrac > float64(c.cfg.PCPUsPerHost) {
+			t.Fatalf("%s busyFrac = %v out of range", h.Name(), h.busyFrac)
+		}
+		if h.stealFrac < 0 || h.waitFrac < 0 || h.lhpRate < 0 {
+			t.Fatalf("%s negative signal: steal=%v wait=%v lhp=%v",
+				h.Name(), h.stealFrac, h.waitFrac, h.lhpRate)
+		}
+		busy += h.busyFrac
+	}
+	if busy == 0 {
+		t.Fatal("an overcommitted cluster measured zero busy fraction")
+	}
+	for _, hd := range c.servers {
+		if hd.stealFrac < 0 {
+			t.Fatalf("%s stealFrac = %v", hd.Spec.Name, hd.stealFrac)
+		}
+	}
+}
+
+func TestRefreshSignalsEmptyWindowKeepsValues(t *testing.T) {
+	c := signalRig(t)
+	c.refreshSignals()
+	h := c.hosts[0]
+	busy, steal, wait, lhp := h.busyFrac, h.stealFrac, h.waitFrac, h.lhpRate
+	srvSteal := c.servers[0].stealFrac
+
+	// Same virtual instant: window is zero, the refresh must be a no-op
+	// (not a divide-by-zero, not a reset to zero).
+	c.refreshSignals()
+	if h.busyFrac != busy || h.stealFrac != steal || h.waitFrac != wait || h.lhpRate != lhp {
+		t.Fatalf("zero-window refresh changed host signal: %v/%v/%v/%v -> %v/%v/%v/%v",
+			busy, steal, wait, lhp, h.busyFrac, h.stealFrac, h.waitFrac, h.lhpRate)
+	}
+	if c.servers[0].stealFrac != srvSteal {
+		t.Fatalf("zero-window refresh changed server steal: %v -> %v", srvSteal, c.servers[0].stealFrac)
+	}
+}
+
+func TestRefreshSignalsCounterResetClamps(t *testing.T) {
+	c := signalRig(t)
+	c.refreshSignals()
+	// Simulate a counter reset (what a migration does to the successor
+	// instance's runstate clocks): the remembered cumulative value is
+	// ahead of what the registry now reports. The windowed fraction
+	// must clamp to zero, not go negative.
+	hd := c.servers[0]
+	hd.prevSteal = 1e18
+	if err := c.eng.Run(c.eng.Now() + 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.refreshSignals()
+	if hd.stealFrac != 0 {
+		t.Fatalf("stealFrac after counter reset = %v, want clamp to 0", hd.stealFrac)
+	}
+	// The next window recovers normal readings.
+	if err := c.eng.Run(c.eng.Now() + 500*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.refreshSignals()
+	if hd.stealFrac < 0 {
+		t.Fatalf("stealFrac = %v after recovery window", hd.stealFrac)
+	}
+}
+
+func TestRefreshSignalsBeforeAnyTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = sim.Second
+	cfg.Drain = 0
+	cfg.VMs = []VMSpec{{Name: "srv0", Kind: KindServer, VCPUs: 1, Sensitive: true}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No virtual time has passed at all: window is zero even on the
+	// very first refresh.
+	c.refreshSignals()
+	for _, h := range c.hosts {
+		if h.busyFrac != 0 || h.stealFrac != 0 {
+			t.Fatalf("signals nonzero before any run: %+v", h)
+		}
+	}
+}

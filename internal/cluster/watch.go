@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"strings"
+
+	"repro/internal/hypervisor"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/watch"
+)
+
+// This file adapts the cluster's per-host telemetry into the online
+// watchdog (internal/watch): pCPU occupancy intervals stream in from
+// each hypervisor's deschedule choke point, per-VM pain counters are
+// pushed once per watch epoch, and each host's bounded event log feeds
+// the flight recorder. All of it is dormant when Config.Watch is nil.
+
+// logicalVMName strips the migration-generation suffix ("srv0#2" ->
+// "srv0") so watch signals stay continuous across live migrations.
+func logicalVMName(inst string) string {
+	name, _, _ := strings.Cut(inst, "#")
+	return name
+}
+
+// wireWatchHost connects one host's hypervisor to the watcher: the
+// occupancy observer for attribution and the event log for incident
+// bundles.
+func (c *Cluster) wireWatchHost(host *Host, tl *trace.Log) {
+	hostName := host.Name()
+	host.HV.SetOccupancyObserver(func(vm *hypervisor.VM, p *hypervisor.PCPU, dur sim.Time) {
+		c.watcher.AddOccupancy(c.eng.Now(), hostName, logicalVMName(vm.Name), p.Name(), dur)
+	})
+	if tl != nil {
+		c.watcher.Recorder().AddHostLog(hostName, tl)
+	}
+}
+
+// registerWatchVM records (or, after a migration, updates) one VM's
+// placement metadata with the watcher.
+func (c *Cluster) registerWatchVM(hd *VMHandle) {
+	if c.watcher == nil {
+		return
+	}
+	c.watcher.RegisterVM(watch.VMInfo{
+		Name:      hd.Spec.Name,
+		Host:      hd.host.Name(),
+		VCPUs:     hd.Spec.VCPUs,
+		Sensitive: hd.Spec.Sensitive,
+	})
+}
+
+// feedWatcher runs at the top of every watch epoch: it flushes the
+// accruing runstate and occupancy intervals on every host, then pushes
+// each admitted VM's cumulative pain (preempt-wait + steal) so the
+// watcher can window it. Migration restarts an instance's counters;
+// the watcher's delta clamp absorbs the reset.
+func (c *Cluster) feedWatcher(now sim.Time) {
+	for _, h := range c.hosts {
+		h.HV.SyncRunstateAccounting()
+		h.HV.SyncOccupancyAccounting()
+	}
+	for _, hd := range c.vms {
+		if !hd.admitted || hd.vm == nil {
+			continue
+		}
+		_, steal := vmCumulativeRunstates(hd.host.Reg, hd.vm.Name, hd.vm.VCPUs)
+		var wait float64
+		if hist := hd.host.Reg.FindHistogram("hv_preempt_wait_ns", obs.Labels{Sub: "hv", VM: hd.vm.Name}); hist != nil {
+			wait = float64(hist.Sum())
+		}
+		c.watcher.FeedPain(now, hd.host.Name(), hd.Spec.Name, sim.Time(steal+wait))
+	}
+}

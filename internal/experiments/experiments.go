@@ -372,6 +372,8 @@ func ByID(id string, opt Options) (Table, bool) {
 		return Cluster(opt), true
 	case "blame":
 		return Blame(opt), true
+	case "watch":
+		return Watch(opt), true
 	default:
 		return Table{}, false
 	}
@@ -383,5 +385,5 @@ func IDs() []string {
 	return []string{"fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sadelay",
 		"ab-pull", "ab-salimit", "ab-ticket", "ab-spinblock", "ab-strictco",
-		"claims", "obs", "chaos", "cluster", "blame"}
+		"claims", "obs", "chaos", "cluster", "blame", "watch"}
 }

@@ -22,7 +22,7 @@ func goldenOptions() Options {
 }
 
 func goldenIDs() []string {
-	return []string{"fig1a", "fig1b", "claims", "chaos", "cluster", "blame"}
+	return []string{"fig1a", "fig1b", "claims", "chaos", "cluster", "blame", "watch"}
 }
 
 func TestGoldenTables(t *testing.T) {

@@ -188,7 +188,8 @@ func (h *Hypervisor) startRunning(p *PCPU, v *VCPU) {
 	v.accActive = true
 	v.setState(StateRunning)
 	v.sliceStart = now
-	p.sliceEnd = h.eng.After(h.cfg.Timeslice, "xen-slice-"+p.Name(), func() { h.sliceExpired(p) })
+	v.occSince = now
+	p.sliceEnd = h.eng.After(h.cfg.Timeslice, p.sliceName, p.sliceFn)
 	if tl := h.cfg.Trace; tl != nil {
 		tl.Recordf(now, trace.KindSwitch, p.Name(), "run %s (%s)", v.Name(), v.prio)
 	}
@@ -207,7 +208,7 @@ func (h *Hypervisor) sliceExpired(p *PCPU) {
 	}
 	if p.peek(h.eng.Now()) == nil {
 		// Nothing queued: extend by a fresh slice.
-		p.sliceEnd = h.eng.After(h.cfg.Timeslice, "xen-slice-"+p.Name(), func() { h.sliceExpired(p) })
+		p.sliceEnd = h.eng.After(h.cfg.Timeslice, p.sliceName, p.sliceFn)
 		return
 	}
 	h.preempt(p)
@@ -419,6 +420,11 @@ func (h *Hypervisor) deschedule(p *PCPU, disposition RunState, involuntary bool)
 	h.eng.Cancel(p.sliceEnd)
 	p.sliceEnd = sim.EventRef{}
 	h.stopPLEWindow(v)
+	if h.occObs != nil {
+		if d := now - v.occSince; d > 0 {
+			h.occObs(v.VM, p, d)
+		}
+	}
 	p.current = nil
 	p.idleSince = now
 	v.pcpu = nil

@@ -165,6 +165,13 @@ type Hypervisor struct {
 	mStealMoves    *obs.Counter
 	mVCPUMigr      *obs.Counter
 	mPLEYields     *obs.Counter
+
+	// occObs, when set, observes every completed pCPU occupancy
+	// interval: VM vm held pCPU p for dur, ending now. It fires at the
+	// deschedule choke point, so the watchdog's attribution engine sees
+	// exact per-(VM, pCPU) occupancy without touching the hot path of
+	// unwatched runs (one nil check).
+	occObs func(vm *VM, p *PCPU, dur sim.Time)
 }
 
 // New creates a hypervisor with cfg.PCPUs physical CPUs and starts its
@@ -185,6 +192,8 @@ func New(eng *sim.Engine, cfg Config) *Hypervisor {
 	h.mPLEYields = reg.Counter("hv_ple_yields_total", obs.Labels{Sub: "hv"})
 	for i := 0; i < cfg.PCPUs; i++ {
 		p := &PCPU{ID: i, hv: h}
+		p.sliceName = "xen-slice-" + p.Name()
+		p.sliceFn = func() { h.sliceExpired(p) }
 		p.mSwitches = reg.Counter("hv_ctx_switches_total", obs.Labels{Sub: "hv", CPU: p.Name()})
 		reg.GaugeFunc("hv_runq_len", obs.Labels{Sub: "hv", CPU: p.Name()}, func() float64 {
 			n := p.QueueLen()
@@ -206,6 +215,32 @@ func New(eng *sim.Engine, cfg Config) *Hypervisor {
 		eng.Every(every, "fault-blackout", func() { h.blackout(dur) })
 	}
 	return h
+}
+
+// SetOccupancyObserver registers fn to receive every completed pCPU
+// occupancy interval (nil disables). One observer per hypervisor.
+func (h *Hypervisor) SetOccupancyObserver(fn func(vm *VM, p *PCPU, dur sim.Time)) {
+	h.occObs = fn
+}
+
+// SyncOccupancyAccounting flushes the currently accruing occupancy
+// interval of every busy pCPU to the occupancy observer and restarts
+// the interval at now, mirroring SyncRunstateAccounting: callers
+// sampling occupancy as a windowed signal invoke this first so
+// long-running vCPUs don't hide inside an open interval.
+func (h *Hypervisor) SyncOccupancyAccounting() {
+	if h.occObs == nil {
+		return
+	}
+	now := h.eng.Now()
+	for _, p := range h.pcpus {
+		if v := p.current; v != nil {
+			if d := now - v.occSince; d > 0 {
+				h.occObs(v.VM, p, d)
+			}
+			v.occSince = now
+		}
+	}
 }
 
 // Engine exposes the simulation engine driving this hypervisor.

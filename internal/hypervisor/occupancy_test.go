@@ -1,0 +1,119 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// occRig builds nVMs single-vCPU VMs with stub guests all pinned to
+// pCPU 0 on a metrics-less, trace-less hypervisor — the cheapest
+// possible event hot path.
+func occRig(nVMs int) (*sim.Engine, *Hypervisor) {
+	eng := sim.NewEngine()
+	h := New(eng, DefaultConfig(1))
+	for vi := 0; vi < nVMs; vi++ {
+		vm := h.NewVM("vm"+string(rune('a'+vi)), 1, 256, false)
+		v := vm.VCPUs[0]
+		h.RegisterGuest(v, &stubGuest{v: v})
+		v.Pin(h.PCPU(0))
+		h.StartVCPU(v)
+	}
+	return eng, h
+}
+
+func TestOccupancyObserverAccountsFullBusyTime(t *testing.T) {
+	eng, h := occRig(2)
+	got := map[string]sim.Time{}
+	h.SetOccupancyObserver(func(vm *VM, p *PCPU, dur sim.Time) {
+		if p.ID != 0 {
+			t.Fatalf("occupancy on unexpected pCPU %d", p.ID)
+		}
+		if dur <= 0 {
+			t.Fatalf("non-positive occupancy interval %v", dur)
+		}
+		got[vm.Name] += dur
+	})
+	if err := eng.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	h.SyncOccupancyAccounting()
+
+	total := got["vma"] + got["vmb"]
+	if total != 3*sim.Second {
+		t.Fatalf("occupancy total = %v, want 3s (pCPU never idles)", total)
+	}
+	ratio := float64(got["vma"]) / float64(got["vmb"])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("equal-weight VMs got occupancy %v vs %v", got["vma"], got["vmb"])
+	}
+	// Occupancy must agree with the scheduler's own runtime accounting.
+	for _, vm := range h.VMs() {
+		if got[vm.Name] != vm.VCPUs[0].RunTime() {
+			t.Fatalf("%s occupancy %v != runtime %v", vm.Name, got[vm.Name], vm.VCPUs[0].RunTime())
+		}
+	}
+}
+
+func TestSyncOccupancyFlushesOpenInterval(t *testing.T) {
+	eng, h := occRig(1) // alone on the pCPU: never descheduled
+	var flushed sim.Time
+	h.SetOccupancyObserver(func(vm *VM, p *PCPU, dur sim.Time) { flushed += dur })
+	if err := eng.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if flushed != 0 {
+		t.Fatalf("observer fired %v before any deschedule or sync", flushed)
+	}
+	h.SyncOccupancyAccounting()
+	if flushed != sim.Second {
+		t.Fatalf("sync flushed %v, want 1s", flushed)
+	}
+	// The interval restarted: a second immediate sync adds nothing.
+	h.SyncOccupancyAccounting()
+	if flushed != sim.Second {
+		t.Fatalf("double sync double-counted: %v", flushed)
+	}
+}
+
+// TestDisabledWatchdogZeroAllocs pins the acceptance criterion: with no
+// occupancy observer installed, the scheduling hot path (timeslice
+// preemptions, deschedule/dispatch cycles) allocates nothing per op.
+func TestDisabledWatchdogZeroAllocs(t *testing.T) {
+	eng, _ := occRig(2)
+	// Warm up: let event pools and runqueues reach steady state.
+	if err := eng.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	step := 90 * sim.Millisecond // three timeslices per op
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.Run(eng.Now() + step); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled watchdog hot path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func benchHotPath(b *testing.B, observer bool) {
+	eng, h := occRig(2)
+	if observer {
+		var sink sim.Time
+		h.SetOccupancyObserver(func(vm *VM, p *PCPU, dur sim.Time) { sink += dur })
+	}
+	if err := eng.Run(2 * sim.Second); err != nil {
+		b.Fatal(err)
+	}
+	step := 90 * sim.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Run(eng.Now() + step); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathNoWatchdog(b *testing.B)   { benchHotPath(b, false) }
+func BenchmarkHotPathWithWatchdog(b *testing.B) { benchHotPath(b, true) }

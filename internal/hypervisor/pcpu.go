@@ -18,6 +18,13 @@ type PCPU struct {
 
 	sliceEnd sim.EventRef // end of the current 30 ms timeslice
 
+	// sliceName/sliceFn are the timeslice event's label and callback,
+	// built once at construction: re-arming happens on every context
+	// switch, and allocating a fresh string + closure there put ~9
+	// allocs/op on an otherwise allocation-free hot path.
+	sliceName string
+	sliceFn   func()
+
 	// saWait is set while the pCPU stalls a preemption waiting for the
 	// guest to acknowledge a scheduler activation.
 	saWait bool

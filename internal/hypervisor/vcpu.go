@@ -122,6 +122,9 @@ type VCPU struct {
 	pinned   *PCPU // hard affinity, nil = float
 
 	sliceStart sim.Time // when the vCPU was last put on a pCPU
+	occSince   sim.Time // start of the accruing occupancy interval
+	// (distinct from sliceStart: occupancy flushes mid-slice via
+	// SyncOccupancyAccounting without disturbing ratelimit math)
 
 	saPending  bool         // an SA notification awaits guest acknowledgement
 	saSentAt   sim.Time     // when the pending SA was sent

@@ -45,6 +45,12 @@ type Checker struct {
 	violations []Violation
 	total      int64
 	audits     int64
+
+	// OnViolation, when non-nil, observes every violation as it is
+	// recorded (including ones past the storage cap). The watch flight
+	// recorder subscribes here so an invariant trip dumps an incident
+	// bundle with the scheduling context still in its rings.
+	OnViolation func(Violation)
 }
 
 // New creates a checker auditing at the given cadence once attached.
@@ -94,6 +100,9 @@ func (c *Checker) record(at sim.Time, rule, detail string) {
 	c.total++
 	if len(c.violations) < maxRecorded {
 		c.violations = append(c.violations, Violation{At: at, Rule: rule, Detail: detail})
+	}
+	if c.OnViolation != nil {
+		c.OnViolation(Violation{At: at, Rule: rule, Detail: detail})
 	}
 }
 

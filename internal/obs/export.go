@@ -35,7 +35,7 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
-	r.Visit(func(name string, l Labels, c *Counter, g *Gauge, h *Histogram) {
+	r.Visit(func(name string, l Labels, c *Counter, g *Gauge, h *Histogram, sk *Sketch) {
 		switch {
 		case c != nil:
 			emit("%s", typeLine(name, "counter"))
@@ -51,6 +51,18 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 			}
 			emit("%s_sum%s %d\n", name, l, int64(h.Sum()))
 			emit("%s_count%s %d\n", name, l, h.Count())
+		case sk != nil:
+			// Sketches surface the deeper tail a reservoir can't promise:
+			// p99.9 with bounded relative error, scrape after scrape.
+			emit("%s", typeLine(name, "summary"))
+			for _, q := range []struct {
+				p     float64
+				label string
+			}{{50, "0.5"}, {99, "0.99"}, {99.9, "0.999"}} {
+				emit("%s%s %d\n", name, quantileLabels(l, q.label), int64(sk.Percentile(q.p)))
+			}
+			emit("%s_sum%s %d\n", name, l, int64(sk.Sum()))
+			emit("%s_count%s %d\n", name, l, sk.Count())
 		}
 	})
 	return err
@@ -65,28 +77,39 @@ func quantileLabels(l Labels, q string) string {
 	return s[:len(s)-1] + fmt.Sprintf(",quantile=%q}", q)
 }
 
-// WriteCSV renders the sampler's time series in long form, one row per
-// point: metric,labels,t_ns,value. Rows are sorted by series then time.
-func WriteCSV(w io.Writer, s *Sampler) error {
+// WriteCSVTable writes one header row followed by rows through a
+// shared csv.Writer. Every CSV surface of the repo (sampler exports,
+// irsblame -csv) funnels through here so quoting and flushing behave
+// identically everywhere.
+func WriteCSVTable(w io.Writer, header []string, rows [][]string) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"metric", "labels", "t_ns", "value"}); err != nil {
+	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, se := range s.AllSeries() {
-		for _, pt := range se.Points {
-			row := []string{
-				se.Name,
-				se.Labels.String(),
-				strconv.FormatInt(int64(pt.At), 10),
-				formatFloat(pt.V),
-			}
-			if err := cw.Write(row); err != nil {
-				return err
-			}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteCSV renders the sampler's time series in long form, one row per
+// point: metric,labels,t_ns,value. Rows are sorted by series then time.
+func WriteCSV(w io.Writer, s *Sampler) error {
+	var rows [][]string
+	for _, se := range s.AllSeries() {
+		for _, pt := range se.Points {
+			rows = append(rows, []string{
+				se.Name,
+				se.Labels.String(),
+				strconv.FormatInt(int64(pt.At), 10),
+				formatFloat(pt.V),
+			})
+		}
+	}
+	return WriteCSVTable(w, []string{"metric", "labels", "t_ns", "value"}, rows)
 }
 
 // HistogramLine renders the headline stats of a histogram as

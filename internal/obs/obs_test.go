@@ -122,7 +122,7 @@ func TestVisitDeterministicOrder(t *testing.T) {
 	r.Gauge("a_gauge", Labels{}).Set(1)
 	r.GaugeFunc("c_fn", Labels{}, func() float64 { return 7 })
 	var got []string
-	r.Visit(func(name string, l Labels, c *Counter, g *Gauge, h *Histogram) {
+	r.Visit(func(name string, l Labels, c *Counter, g *Gauge, h *Histogram, sk *Sketch) {
 		got = append(got, name+l.String())
 		if name == "c_fn" && g.Value() != 7 {
 			t.Fatalf("polled gauge = %v", g.Value())

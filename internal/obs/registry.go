@@ -172,6 +172,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeFunc
+	kindSketch
 )
 
 func (k metricKind) String() string {
@@ -184,6 +185,8 @@ func (k metricKind) String() string {
 		return "histogram"
 	case kindGaugeFunc:
 		return "gauge"
+	case kindSketch:
+		return "sketch"
 	default:
 		return fmt.Sprintf("metricKind(%d)", int(k))
 	}
@@ -198,6 +201,7 @@ type entry struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	sketch  *Sketch
 	fn      func() float64
 }
 
@@ -270,6 +274,24 @@ func (r *Registry) Histogram(name string, l Labels) *Histogram {
 	return e.hist
 }
 
+// Sketch returns (registering on first use) the DDSketch-style
+// quantile sketch for (name, labels). Unlike Histogram's sampling
+// reservoir, a sketch keeps bounded-relative-error quantiles over the
+// whole stream and merges exactly, so scrape pipelines can aggregate
+// per-host sketches. Non-positive alpha selects DefaultSketchAlpha;
+// the alpha of the first registration wins. Returns nil on a nil
+// registry.
+func (r *Registry) Sketch(name string, l Labels, alpha float64) *Sketch {
+	if r == nil {
+		return nil
+	}
+	e := r.get(name, l, kindSketch)
+	if e.sketch == nil {
+		e.sketch = NewSketch(alpha)
+	}
+	return e.sketch
+}
+
 // GaugeFunc registers a polled gauge: fn is evaluated at sample and
 // export time. No-op on a nil registry; re-registering replaces fn.
 func (r *Registry) GaugeFunc(name string, l Labels, fn func() float64) {
@@ -307,21 +329,36 @@ func (r *Registry) sortedEntries() []*entry {
 }
 
 // Visit calls fn for every registered metric in deterministic order.
-// Exactly one of counter/gauge/hist is non-nil per call; polled gauges
-// are presented as a *Gauge holding the current fn value.
-func (r *Registry) Visit(fn func(name string, l Labels, counter *Counter, gauge *Gauge, hist *Histogram)) {
+// Exactly one of counter/gauge/hist/sketch is non-nil per call; polled
+// gauges are presented as a *Gauge holding the current fn value.
+func (r *Registry) Visit(fn func(name string, l Labels, counter *Counter, gauge *Gauge, hist *Histogram, sketch *Sketch)) {
 	for _, e := range r.sortedEntries() {
 		switch e.kind {
 		case kindCounter:
-			fn(e.name, e.labels, e.counter, nil, nil)
+			fn(e.name, e.labels, e.counter, nil, nil, nil)
 		case kindGauge:
-			fn(e.name, e.labels, nil, e.gauge, nil)
+			fn(e.name, e.labels, nil, e.gauge, nil, nil)
 		case kindGaugeFunc:
-			fn(e.name, e.labels, nil, &Gauge{v: e.fn()}, nil)
+			fn(e.name, e.labels, nil, &Gauge{v: e.fn()}, nil, nil)
 		case kindHistogram:
-			fn(e.name, e.labels, nil, nil, e.hist)
+			fn(e.name, e.labels, nil, nil, e.hist, nil)
+		case kindSketch:
+			fn(e.name, e.labels, nil, nil, nil, e.sketch)
 		}
 	}
+}
+
+// FindSketch returns the sketch registered under (name, labels), or
+// nil when absent. It never registers.
+func (r *Registry) FindSketch(name string, l Labels) *Sketch {
+	if r == nil {
+		return nil
+	}
+	e := &entry{name: name, labels: l}
+	if old, ok := r.byKey[e.key()]; ok && old.kind == kindSketch {
+		return old.sketch
+	}
+	return nil
 }
 
 // FindHistogram returns the histogram registered under (name, labels),

@@ -24,6 +24,7 @@ type Sketch struct {
 	counts map[int]int64 // bucket index -> count
 	zero   int64         // values <= 0 (exact)
 	n      int64
+	sum    sim.Time
 	min    sim.Time
 	max    sim.Time
 }
@@ -67,6 +68,7 @@ func (s *Sketch) estimate(i int) sim.Time {
 // categories).
 func (s *Sketch) Add(v sim.Time) {
 	s.n++
+	s.sum += v
 	if s.n == 1 || v < s.min {
 		s.min = v
 	}
@@ -82,6 +84,10 @@ func (s *Sketch) Add(v sim.Time) {
 
 // Count returns how many values were added.
 func (s *Sketch) Count() int64 { return s.n }
+
+// Sum returns the exact sum of all added values (sums, like bucket
+// counts, merge exactly).
+func (s *Sketch) Sum() sim.Time { return s.sum }
 
 // Min and Max return the exact extremes of the stream.
 func (s *Sketch) Min() sim.Time { return s.min }
@@ -104,6 +110,7 @@ func (s *Sketch) Merge(o *Sketch) {
 		s.max = o.max
 	}
 	s.n += o.n
+	s.sum += o.sum
 	s.zero += o.zero
 	for i, c := range o.counts {
 		s.counts[i] += c

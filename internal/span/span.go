@@ -253,6 +253,12 @@ type Tracer struct {
 	nextID   int64
 	open     int
 	finished []*Span
+
+	// OnFinish, when non-nil, observes each span as it finishes (after
+	// it is appended to the finished list). The watch flight recorder
+	// subscribes here to keep its bounded ring of recent spans without
+	// rescanning the full trace on every incident.
+	OnFinish func(*Span)
 }
 
 // NewTracer returns an empty tracer.
@@ -280,6 +286,9 @@ func (tr *Tracer) Start(arrival sim.Time) *Span {
 func (tr *Tracer) finish(s *Span) {
 	tr.open--
 	tr.finished = append(tr.finished, s)
+	if tr.OnFinish != nil {
+		tr.OnFinish(s)
+	}
 }
 
 // Finished returns the collected spans in completion order. The slice

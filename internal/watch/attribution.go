@@ -1,0 +1,175 @@
+package watch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Canonical series names for the watcher's interference signals. Both
+// are fed as per-window deltas in nanoseconds, so a window's Sum is
+// "how much of this happened inside this interval":
+//
+//   - SeriesPain, labeled {sub=<host>, vm=<victim>}: the victim's
+//     combined preempt-wait + steal time across all its vCPUs.
+//   - SeriesOcc, labeled {sub=<host>, vm=<aggressor>, cpu=<pcpu>}:
+//     how long that VM's vCPUs physically occupied that pCPU.
+const (
+	SeriesPain = "watch.pain"
+	SeriesOcc  = "watch.occ"
+)
+
+// VMInfo is the placement metadata the attribution engine needs about
+// one VM: where it runs, how wide it is, and whether it is a protected
+// (SLO-carrying) tenant whose pain is worth attributing.
+type VMInfo struct {
+	Name      string
+	Host      string
+	VCPUs     int
+	Sensitive bool
+}
+
+// AggressorScore is one attribution triple: how strongly aggressor
+// activity on one pCPU correlates with the victim's pain. Score is the
+// windowed mean of painFrac×occFrac, where painFrac is the victim's
+// steal+wait per vCPU-second and occFrac the aggressor's occupancy
+// fraction of that pCPU — dimensionless, higher is guiltier.
+type AggressorScore struct {
+	Victim    string  `json:"victim"`
+	Aggressor string  `json:"aggressor"`
+	PCPU      string  `json:"pcpu"`
+	Score     float64 `json:"score"`
+}
+
+func (a AggressorScore) String() string {
+	return fmt.Sprintf("%s<-%s@%s %.4f", a.Victim, a.Aggressor, a.PCPU, a.Score)
+}
+
+// RankedAggressor aggregates the triples of one (victim, aggressor)
+// pair across pCPUs — the headline ranking an operator acts on.
+type RankedAggressor struct {
+	Victim    string  `json:"victim"`
+	Aggressor string  `json:"aggressor"`
+	Score     float64 `json:"score"`
+}
+
+func (r RankedAggressor) String() string {
+	return fmt.Sprintf("%s<-%s %.4f", r.Victim, r.Aggressor, r.Score)
+}
+
+// Attribute correlates victim pain against co-resident VM occupancy
+// over [from, to) and returns the aggregate per-aggressor ranking plus
+// the per-pCPU triples behind it, both sorted by descending score with
+// deterministic name-order tie-breaks.
+//
+// For each window w the victim's pain fraction is
+// pain(w) = (stealΔ+waitΔ)/(interval×vcpus) and each co-resident
+// aggressor's occupancy fraction of pCPU p is occ(w,p) = occΔ/interval;
+// the triple score is the mean over windows of pain(w)×occ(w,p).
+// Multiplying per-window (rather than correlating totals) rewards
+// aggressors whose occupancy coincides in time with the victim's pain,
+// which is what separates the bully from a steady background tenant.
+func Attribute(st *Store, vms []VMInfo, from, to sim.Time) ([]RankedAggressor, []AggressorScore) {
+	interval := float64(st.Interval())
+
+	// Index occupancy series by (host, aggressor VM) once.
+	type occSeries struct {
+		pcpu   string
+		series *Series
+	}
+	occByVM := map[string][]occSeries{}
+	st.Visit(func(name string, l obs.Labels, s *Series) {
+		if name != SeriesOcc {
+			return
+		}
+		key := l.Sub + "/" + l.VM
+		occByVM[key] = append(occByVM[key], occSeries{pcpu: l.CPU, series: s})
+	})
+
+	sorted := append([]VMInfo(nil), vms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	var triples []AggressorScore
+	for _, victim := range sorted {
+		if !victim.Sensitive || victim.VCPUs <= 0 {
+			continue
+		}
+		ps := st.Series(SeriesPain, obs.Labels{Sub: victim.Host, VM: victim.Name})
+		if ps == nil {
+			continue
+		}
+		pains := ps.WindowsBetween(from, to)
+		if len(pains) == 0 {
+			continue
+		}
+		for _, aggr := range sorted {
+			if aggr.Name == victim.Name || aggr.Host != victim.Host {
+				continue
+			}
+			for _, occ := range occByVM[aggr.Host+"/"+aggr.Name] {
+				var sum float64
+				for _, pw := range pains {
+					ow, ok := occ.series.WindowAt(pw.Start)
+					if !ok {
+						continue
+					}
+					painFrac := pw.Sum / (interval * float64(victim.VCPUs))
+					occFrac := ow.Sum / interval
+					sum += painFrac * occFrac
+				}
+				score := sum / float64(len(pains))
+				if score > 0 {
+					triples = append(triples, AggressorScore{
+						Victim: victim.Name, Aggressor: aggr.Name,
+						PCPU: occ.pcpu, Score: score,
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		if a.Aggressor != b.Aggressor {
+			return a.Aggressor < b.Aggressor
+		}
+		return a.PCPU < b.PCPU
+	})
+
+	// Aggregate triples into the per-(victim, aggressor) ranking.
+	agg := map[string]*RankedAggressor{}
+	var order []string
+	for _, t := range triples {
+		key := t.Victim + "\x00" + t.Aggressor
+		r := agg[key]
+		if r == nil {
+			r = &RankedAggressor{Victim: t.Victim, Aggressor: t.Aggressor}
+			agg[key] = r
+			order = append(order, key)
+		}
+		r.Score += t.Score
+	}
+	ranked := make([]RankedAggressor, 0, len(order))
+	for _, key := range order {
+		ranked = append(ranked, *agg[key])
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Victim != b.Victim {
+			return a.Victim < b.Victim
+		}
+		return a.Aggressor < b.Aggressor
+	})
+	return ranked, triples
+}

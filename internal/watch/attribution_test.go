@@ -1,0 +1,118 @@
+package watch
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func labelsFor(host, vm string) obs.Labels { return obs.Labels{Sub: host, VM: vm} }
+
+// buildScene fills a store with one victim in pain and two aggressors
+// of different intensity over windows [0, n*interval).
+func buildScene(t *testing.T, n int) (*Store, []VMInfo) {
+	t.Helper()
+	iv := 100 * sim.Millisecond
+	st := NewStore(iv, 32)
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * iv
+		st.Observe(SeriesPain, labelsFor("h0", "victim"), at, float64(40*sim.Millisecond))
+		st.Observe(SeriesOcc, obs.Labels{Sub: "h0", VM: "bully", CPU: "p1"}, at, float64(60*sim.Millisecond))
+		st.Observe(SeriesOcc, obs.Labels{Sub: "h0", VM: "bully", CPU: "p2"}, at, float64(20*sim.Millisecond))
+		st.Observe(SeriesOcc, obs.Labels{Sub: "h0", VM: "mild", CPU: "p1"}, at, float64(10*sim.Millisecond))
+		st.Observe(SeriesOcc, obs.Labels{Sub: "h1", VM: "far", CPU: "p0"}, at, float64(100*sim.Millisecond))
+	}
+	vms := []VMInfo{
+		{Name: "victim", Host: "h0", VCPUs: 2, Sensitive: true},
+		{Name: "bully", Host: "h0", VCPUs: 4},
+		{Name: "mild", Host: "h0", VCPUs: 1},
+		{Name: "far", Host: "h1", VCPUs: 8},
+	}
+	return st, vms
+}
+
+func TestAttributeRanksCoResidentAggressors(t *testing.T) {
+	st, vms := buildScene(t, 10)
+	ranked, triples := Attribute(st, vms, 0, sim.Second)
+
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v, want bully and mild only", ranked)
+	}
+	if ranked[0].Aggressor != "bully" || ranked[1].Aggressor != "mild" {
+		t.Fatalf("order = %v", ranked)
+	}
+	// pain = 40ms/(100ms*2) = 0.2 per window.
+	// bully: occ 0.6+0.2 over two pCPUs -> 0.2*0.8 = 0.16
+	// mild:  occ 0.1 -> 0.2*0.1 = 0.02; ratio 8x.
+	if ranked[0].Score < 2*ranked[1].Score {
+		t.Fatalf("bully %v not >= 2x mild %v", ranked[0].Score, ranked[1].Score)
+	}
+	const eps = 1e-9
+	if got := ranked[0].Score; got < 0.16-eps || got > 0.16+eps {
+		t.Fatalf("bully score = %v, want 0.16", got)
+	}
+
+	// Triples keep the per-pCPU detail, sorted by descending score.
+	if len(triples) != 3 {
+		t.Fatalf("triples = %v", triples)
+	}
+	if triples[0].PCPU != "p1" || triples[0].Aggressor != "bully" {
+		t.Fatalf("top triple = %+v", triples[0])
+	}
+	for _, tr := range triples {
+		if tr.Aggressor == "far" {
+			t.Fatal("cross-host VM in triples")
+		}
+	}
+}
+
+func TestAttributeRequiresTemporalOverlap(t *testing.T) {
+	// Occupancy in disjoint windows from the pain contributes nothing:
+	// the engine correlates per-window, not totals.
+	iv := 100 * sim.Millisecond
+	st := NewStore(iv, 32)
+	for i := 0; i < 5; i++ {
+		st.Observe(SeriesPain, labelsFor("h0", "victim"), sim.Time(i)*iv, float64(40*sim.Millisecond))
+	}
+	for i := 5; i < 10; i++ {
+		st.Observe(SeriesOcc, obs.Labels{Sub: "h0", VM: "late", CPU: "p0"}, sim.Time(i)*iv, float64(90*sim.Millisecond))
+	}
+	vms := []VMInfo{
+		{Name: "victim", Host: "h0", VCPUs: 1, Sensitive: true},
+		{Name: "late", Host: "h0", VCPUs: 4},
+	}
+	ranked, _ := Attribute(st, vms, 0, sim.Second)
+	if len(ranked) != 0 {
+		t.Fatalf("non-overlapping occupancy blamed: %v", ranked)
+	}
+}
+
+func TestAttributeNoVictimsNoOutput(t *testing.T) {
+	st, vms := buildScene(t, 5)
+	for i := range vms {
+		vms[i].Sensitive = false
+	}
+	ranked, triples := Attribute(st, vms, 0, sim.Second)
+	if len(ranked) != 0 || len(triples) != 0 {
+		t.Fatalf("output without sensitive victims: %v %v", ranked, triples)
+	}
+}
+
+func TestAttributeDeterministicTieBreak(t *testing.T) {
+	iv := 100 * sim.Millisecond
+	st := NewStore(iv, 16)
+	st.Observe(SeriesPain, labelsFor("h0", "v"), 0, float64(50*sim.Millisecond))
+	// Two aggressors with identical occupancy: tie broken by name.
+	st.Observe(SeriesOcc, obs.Labels{Sub: "h0", VM: "zeta", CPU: "p0"}, 0, float64(30*sim.Millisecond))
+	st.Observe(SeriesOcc, obs.Labels{Sub: "h0", VM: "alpha", CPU: "p0"}, 0, float64(30*sim.Millisecond))
+	vms := []VMInfo{
+		{Name: "v", Host: "h0", VCPUs: 1, Sensitive: true},
+		{Name: "zeta", Host: "h0", VCPUs: 1},
+		{Name: "alpha", Host: "h0", VCPUs: 1},
+	}
+	ranked, _ := Attribute(st, vms, 0, iv)
+	if len(ranked) != 2 || ranked[0].Aggressor != "alpha" || ranked[1].Aggressor != "zeta" {
+		t.Fatalf("tie-break order = %v", ranked)
+	}
+}

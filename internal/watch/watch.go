@@ -1,0 +1,265 @@
+package watch
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Config sizes a Watcher. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// Interval is the epoch cadence and window width (default 100ms).
+	Interval sim.Time
+	// Depth is the store's ring depth in windows (default 64).
+	Depth int
+	// Rules are the burn-rate alert rules to evaluate each epoch.
+	Rules []Rule
+	// SpanRing bounds the flight recorder's recent-span ring
+	// (default DefaultSpanRing).
+	SpanRing int
+	// MaxIncidents caps stored incident bundles
+	// (default DefaultMaxIncidents).
+	MaxIncidents int
+	// SketchSeries names sampler series whose windows should carry
+	// quantile sketches.
+	SketchSeries []string
+}
+
+// DefaultInterval and DefaultDepth size the windowed store when the
+// config leaves them zero.
+const (
+	DefaultInterval = 100 * sim.Millisecond
+	DefaultDepth    = 64
+)
+
+// Watcher is the online SLO watchdog: it rolls telemetry into windows,
+// evaluates burn-rate rules every epoch, runs noisy-neighbor
+// attribution when a rule fires, and snapshots flight-recorder
+// incident bundles. One watcher serves one run (or one cluster — the
+// cluster layer multiplexes all hosts into it).
+type Watcher struct {
+	cfg      Config
+	eng      *sim.Engine
+	store    *Store
+	monitor  *Monitor
+	recorder *Recorder
+
+	vms      map[string]VMInfo
+	lastPain map[string]sim.Time
+
+	// feeds run at the top of every epoch, before rule evaluation;
+	// the cluster layer registers one per host to sync hypervisor
+	// accounting and push cumulative pain counters.
+	feeds []func(now sim.Time)
+
+	lastRankings []RankedAggressor
+	lastTriples  []AggressorScore
+
+	// OnAlert, when non-nil, observes each alert with the aggressor
+	// ranking computed for it (live CLI output hooks in here).
+	OnAlert func(Alert, []RankedAggressor)
+	// OnIncident, when non-nil, observes each captured incident bundle.
+	OnIncident func(*Incident)
+}
+
+// New builds a watcher from cfg, applying defaults for zero fields.
+func New(cfg Config) *Watcher {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultDepth
+	}
+	// The store must retain at least the longest slow window.
+	for _, r := range cfg.Rules {
+		if need := int(r.Slow/cfg.Interval) + 2; need > cfg.Depth {
+			cfg.Depth = need
+		}
+	}
+	st := NewStore(cfg.Interval, cfg.Depth)
+	st.SketchSeries(cfg.SketchSeries...)
+	return &Watcher{
+		cfg:      cfg,
+		store:    st,
+		monitor:  NewMonitor(cfg.Interval, cfg.Rules),
+		recorder: NewRecorder(cfg.SpanRing, cfg.MaxIncidents),
+		vms:      map[string]VMInfo{},
+		lastPain: map[string]sim.Time{},
+	}
+}
+
+// Store returns the windowed telemetry store.
+func (w *Watcher) Store() *Store { return w.store }
+
+// Monitor returns the SLO monitor.
+func (w *Watcher) Monitor() *Monitor { return w.monitor }
+
+// Recorder returns the flight recorder.
+func (w *Watcher) Recorder() *Recorder { return w.recorder }
+
+// Interval returns the epoch cadence.
+func (w *Watcher) Interval() sim.Time { return w.cfg.Interval }
+
+// Alerts returns every alert fired so far.
+func (w *Watcher) Alerts() []Alert { return w.monitor.Alerts() }
+
+// Rankings returns the aggressor ranking (and triples) computed for
+// the most recent alert, or the latest on-demand attribution.
+func (w *Watcher) Rankings() ([]RankedAggressor, []AggressorScore) {
+	return w.lastRankings, w.lastTriples
+}
+
+// Start arms the epoch event on eng. A nil *Watcher is a no-op so the
+// cluster can wire an optional watcher unconditionally.
+func (w *Watcher) Start(eng *sim.Engine) {
+	if w == nil {
+		return
+	}
+	w.eng = eng
+	eng.Every(w.cfg.Interval, "watch-epoch", w.epoch)
+}
+
+// AddFeed registers a callback run at the top of every epoch, before
+// rule evaluation. Feeds push cumulative counters into the watcher.
+func (w *Watcher) AddFeed(fn func(now sim.Time)) {
+	if w == nil || fn == nil {
+		return
+	}
+	w.feeds = append(w.feeds, fn)
+}
+
+// RegisterVM records (or updates, e.g. after live migration) one VM's
+// placement metadata for attribution.
+func (w *Watcher) RegisterVM(info VMInfo) {
+	if w == nil {
+		return
+	}
+	w.vms[info.Name] = info
+}
+
+// VMs returns the registered VM metadata sorted by name.
+func (w *Watcher) VMs() []VMInfo {
+	out := make([]VMInfo, 0, len(w.vms))
+	for _, v := range w.vms {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ObserveRequest feeds one served request into the SLO signal; wire it
+// to the router's completion callback.
+func (w *Watcher) ObserveRequest(at sim.Time, violated bool) {
+	if w == nil {
+		return
+	}
+	w.monitor.Observe(at, violated)
+}
+
+// signalTime shifts an accounting flush at an exact window boundary
+// back into the window the value accrued in: a delta pushed at
+// t = k×interval describes (t-interval, t], which is window k-1.
+func signalTime(at sim.Time) sim.Time {
+	if at > 0 {
+		return at - 1
+	}
+	return 0
+}
+
+// FeedPain pushes one VM's cumulative pain counter (preempt-wait +
+// steal across its vCPUs, in ns). The watcher differentiates against
+// the previous push, clamping counter resets to zero, and rolls the
+// delta into the SeriesPain window that just accrued it.
+func (w *Watcher) FeedPain(at sim.Time, host, vm string, cumulative sim.Time) {
+	if w == nil {
+		return
+	}
+	delta := cumulative - w.lastPain[vm]
+	if delta < 0 {
+		delta = 0
+	}
+	w.lastPain[vm] = cumulative
+	w.store.Observe(SeriesPain, obs.Labels{Sub: host, VM: vm}, signalTime(at), float64(delta))
+}
+
+// AddOccupancy rolls one occupancy interval (VM vm held pCPU pcpu for
+// dur, ending at at) into the SeriesOcc windows. Wire it to the
+// hypervisor's occupancy observer.
+func (w *Watcher) AddOccupancy(at sim.Time, host, vm, pcpu string, dur sim.Time) {
+	if w == nil || dur <= 0 {
+		return
+	}
+	w.store.Observe(SeriesOcc, obs.Labels{Sub: host, VM: vm, CPU: pcpu}, signalTime(at), float64(dur))
+}
+
+// AttributeAt runs the attribution engine over the trailing window
+// [now-window, now) on demand, also refreshing Rankings().
+func (w *Watcher) AttributeAt(now, window sim.Time) ([]RankedAggressor, []AggressorScore) {
+	if w == nil {
+		return nil, nil
+	}
+	ranked, triples := Attribute(w.store, w.VMs(), now-window, now)
+	w.lastRankings, w.lastTriples = ranked, triples
+	return ranked, triples
+}
+
+// RecordInvariant captures an incident bundle for a tripped invariant
+// (wire it to invariant.Checker.OnViolation via the cluster layer).
+// Attribution runs over the longest rule slow window for context.
+func (w *Watcher) RecordInvariant(at sim.Time, rule, detail string) {
+	if w == nil {
+		return
+	}
+	window := w.maxSlow()
+	ranked, triples := w.AttributeAt(at, window)
+	inc := w.recorder.Capture(at, "invariant", rule+": "+detail, w.store, at-window)
+	if inc == nil {
+		return
+	}
+	inc.Rankings = ranked
+	inc.Triples = triples
+	if w.OnIncident != nil {
+		w.OnIncident(inc)
+	}
+}
+
+// maxSlow returns the longest slow window among the rules, or ten
+// intervals when no rules are configured.
+func (w *Watcher) maxSlow() sim.Time {
+	var max sim.Time
+	for _, r := range w.cfg.Rules {
+		if r.Slow > max {
+			max = r.Slow
+		}
+	}
+	if max == 0 {
+		max = 10 * w.cfg.Interval
+	}
+	return max
+}
+
+// epoch is the watcher's heartbeat: sync feeds, evaluate rules, and on
+// a rising alert run attribution and capture an incident bundle.
+func (w *Watcher) epoch() {
+	now := w.eng.Now()
+	for _, f := range w.feeds {
+		f(now)
+	}
+	for _, a := range w.monitor.Evaluate(now) {
+		a := a
+		ranked, triples := w.AttributeAt(now, a.Rule.Slow)
+		if inc := w.recorder.Capture(now, "slo-alert", a.String(), w.store, now-a.Rule.Slow); inc != nil {
+			inc.Alert = &a
+			inc.Rankings = ranked
+			inc.Triples = triples
+			if w.OnIncident != nil {
+				w.OnIncident(inc)
+			}
+		}
+		if w.OnAlert != nil {
+			w.OnAlert(a, ranked)
+		}
+	}
+}
