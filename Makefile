@@ -8,9 +8,9 @@ GO ?= go
 # cmd/benchjson and DESIGN.md §9).
 BENCH_SNAPSHOT ?= BENCH_3.json
 
-.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch attack
 
-check: build vet race examples blame watch
+check: build vet race examples blame watch attack
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,13 @@ fuzz-smoke:
 	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEventHeapOrdering -fuzztime 5s
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzParsePlan -fuzztime 5s
 	$(GO) test ./internal/watch -run '^$$' -fuzz FuzzParseRule -fuzztime 5s
+	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzParseAttack -fuzztime 5s
+
+# Adversarial-tenant smoke run: the tick-evader vs every accounting
+# defense; the gate fails unless jittered ticks + exact accounting
+# together hold the attacker within 5% of its fair share.
+attack:
+	$(GO) run ./cmd/irsim -attack tick-evade -expect-overshoot 1.05
 
 # Robustness sweep: fault rates vs strategies with invariant audits.
 chaos:

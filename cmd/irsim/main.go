@@ -8,6 +8,7 @@
 //	irsim [-runs N] [-seed S] [-v] fig5 fig6 ...
 //	irsim [-experiment cluster] [-runs N] [-seed S]
 //	irsim [-cpuprofile cpu.pprof] [-memprofile mem.pprof] all
+//	irsim -attack tick-evade [-expect-overshoot 1.05] [-seed S]
 //
 // Tables go to stdout and are byte-identical for a given seed (wall
 // times and progress go to stderr), so output can be diffed across
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -40,6 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Bool("parallel", true, "fan each figure's simulation matrix across worker goroutines")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	experiment := fs.String("experiment", "", "experiment id to run (alias for the positional form)")
+	attack := fs.String("attack", "", "attacker spec (e.g. tick-evade,margin=500us); runs it against every accounting defense")
+	expectOvershoot := fs.Float64("expect-overshoot", 0,
+		"with -attack: exit nonzero unless the fully-defended row keeps the attacker at or below this fair-share ratio")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +53,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ids := fs.Args()
 	if *experiment != "" {
 		ids = append([]string{*experiment}, ids...)
+	}
+	if *attack != "" {
+		if len(ids) > 0 {
+			fmt.Fprintln(stderr, "irsim: -attack does not combine with experiment ids")
+			return 2
+		}
+		return attackGate(*attack, *expectOvershoot, *seed, stdout, stderr)
 	}
 	if len(ids) == 0 {
 		usage(fs, stderr)
@@ -128,4 +140,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(fs *flag.FlagSet, stderr io.Writer) {
 	fmt.Fprintln(stderr, "usage: irsim [flags] list | all | <experiment-id>...")
 	fs.PrintDefaults()
+}
+
+// attackGate runs one attacker spec against every accounting defense
+// and prints the resulting table. With a positive expect threshold it
+// doubles as the CI smoke gate: the fully-defended ("both") row must
+// keep the attacker's obtained/fair ratio at or below the threshold.
+func attackGate(spec string, expect float64, seed uint64, stdout, stderr io.Writer) int {
+	as, err := workload.ParseAttack(spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "irsim: -attack: %v\n", err)
+		return 2
+	}
+	if as.Zero() {
+		fmt.Fprintln(stderr, "irsim: -attack: spec names no attack kind")
+		return 2
+	}
+	defenses := experiments.AttackDefenses()
+	outs := make([]experiments.AttackOutcome, len(defenses))
+	errs := make([]error, len(defenses))
+	var fns []func()
+	for i, d := range defenses {
+		i, d := i, d
+		fns = append(fns, func() {
+			outs[i], errs[i] = experiments.RunAttack(as, d, seed)
+		})
+	}
+	experiments.ParallelDo(len(fns), fns)
+
+	tb := experiments.Table{
+		ID:      "attack",
+		Title:   fmt.Sprintf("attacker %q vs accounting defenses", as),
+		Columns: experiments.AttackColumns(),
+	}
+	var defended *experiments.AttackOutcome
+	for i, d := range defenses {
+		if errs[i] != nil {
+			fmt.Fprintf(stderr, "irsim: attack %s/%s: %v\n", as.Kind, d.Name, errs[i])
+			return 1
+		}
+		tb.Rows = append(tb.Rows, experiments.AttackRow(outs[i]))
+		if d.Name == "both" {
+			defended = &outs[i]
+		}
+	}
+	fmt.Fprint(stdout, tb)
+	fmt.Fprintln(stdout)
+
+	if expect > 0 {
+		if defended == nil {
+			fmt.Fprintln(stderr, "irsim: attack gate: no fully-defended row")
+			return 1
+		}
+		if defended.FairRatio > expect {
+			fmt.Fprintf(stderr, "irsim: attack gate FAILED: defended %s still obtains %.3fx fair share (cap %.2fx)\n",
+				as.Kind, defended.FairRatio, expect)
+			return 1
+		}
+		fmt.Fprintf(stderr, "irsim: attack gate ok: defended %s held to %.3fx fair share (cap %.2fx)\n",
+			as.Kind, defended.FairRatio, expect)
+	}
+	return 0
 }

@@ -70,3 +70,40 @@ func TestClusterExperimentDeterministic(t *testing.T) {
 		t.Fatalf("serial run differs from parallel (exit %d)", code3)
 	}
 }
+
+func TestAttackGatePassesWithDefenses(t *testing.T) {
+	code, out, errOut := runCmd(t, "-attack", "tick-evade", "-expect-overshoot", "1.05")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "vanilla") || !strings.Contains(out, "both") {
+		t.Fatalf("attack table missing defense rows:\n%s", out)
+	}
+	if !strings.Contains(errOut, "attack gate ok") {
+		t.Fatalf("no gate verdict on stderr: %q", errOut)
+	}
+}
+
+func TestAttackGateFailsOnImpossibleCap(t *testing.T) {
+	// No defense can hold an attacker below 1% of fair share; the gate
+	// must trip.
+	code, _, errOut := runCmd(t, "-attack", "tick-evade", "-expect-overshoot", "0.01")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "attack gate FAILED") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestAttackRejectsBadSpec(t *testing.T) {
+	if code, _, _ := runCmd(t, "-attack", "frobnicate"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "-attack", "none"); code != 2 {
+		t.Fatalf("zero spec: exit = %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "-attack", "tick-evade", "fig1a"); code != 2 {
+		t.Fatalf("spec+ids: exit = %d, want 2", code)
+	}
+}

@@ -12,6 +12,7 @@
 //	        [-unpinned] [-seed S] [-runs N] [-parallel] [-workers N]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	irsweep -cluster [-hosts 2,3,4] [-seed S] [-parallel] [-workers N]
+//	irsweep -attack "tick-evade;boost-game,run=2ms" [-seed S] [-parallel] [-workers N]
 //	irsweep -list
 package main
 
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	clusterSweep := fs.Bool("cluster", false, "sweep the multi-host placement variants across rack sizes")
 	hostsList := fs.String("hosts", "2,3,4", "comma-separated host counts for -cluster")
+	attackList := fs.String("attack", "", "semicolon-separated attacker specs to sweep against every accounting defense")
 	parallel := fs.Bool("parallel", true, "fan sweep cells across worker goroutines")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -109,6 +111,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return clusterMatrix(stdout, stderr, hosts, *seed, nWorkers)
+	}
+
+	if *attackList != "" {
+		var specs []workload.AttackSpec
+		for _, part := range strings.Split(*attackList, ";") {
+			s, err := workload.ParseAttack(part)
+			if err != nil {
+				fmt.Fprintf(stderr, "irsweep: bad -attack spec %q: %v\n", part, err)
+				return 2
+			}
+			if s.Zero() {
+				continue
+			}
+			specs = append(specs, s)
+		}
+		if len(specs) == 0 {
+			fmt.Fprintf(stderr, "irsweep: -attack %q names no attackers\n", *attackList)
+			return 2
+		}
+		return attackMatrix(stdout, stderr, specs, *seed, nWorkers)
 	}
 
 	bench, ok := workload.ByName(*benchName)
@@ -243,6 +265,56 @@ func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers 
 		}
 		fmt.Fprintln(stdout)
 	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// attackMatrix sweeps attacker specs against every accounting defense:
+// one row per (attacker, defense) cell, in spec order then defense
+// order, each cell an isolated deterministic simulation.
+func attackMatrix(stdout, stderr io.Writer, specs []workload.AttackSpec, seed uint64, nWorkers int) int {
+	defenses := experiments.AttackDefenses()
+	type cell struct {
+		out experiments.AttackOutcome
+		err error
+	}
+	cells := make([]cell, len(specs)*len(defenses))
+	var fns []func()
+	for si, spec := range specs {
+		for di, d := range defenses {
+			si, di, spec, d := si, di, spec, d
+			fns = append(fns, func() {
+				out, err := experiments.RunAttack(spec, d, seed)
+				cells[si*len(defenses)+di] = cell{out: out, err: err}
+			})
+		}
+	}
+	experiments.ParallelDo(nWorkers, fns)
+
+	tb := experiments.Table{
+		ID:      "attack-sweep",
+		Title:   "attacker specs vs accounting defenses",
+		Columns: experiments.AttackColumns(),
+	}
+	bad := 0
+	for si, spec := range specs {
+		for di, d := range defenses {
+			c := cells[si*len(defenses)+di]
+			if c.err != nil {
+				fmt.Fprintf(stderr, "irsweep: attack %q/%s: %v\n", spec, d.Name, c.err)
+				bad++
+				continue
+			}
+			row := experiments.AttackRow(c.out)
+			// The sweep may carry several variants of one attack kind;
+			// show the full spec so rows stay distinguishable.
+			row[0] = spec.String()
+			tb.Rows = append(tb.Rows, row)
+		}
+	}
+	fmt.Fprint(stdout, tb)
 	if bad > 0 {
 		return 1
 	}

@@ -66,3 +66,29 @@ func TestClusterSweepDeterministic(t *testing.T) {
 		t.Fatalf("serial sweep differs from parallel (exit %d)", code2)
 	}
 }
+
+func TestAttackSweepMatrix(t *testing.T) {
+	code, out, errOut := runCmd(t, "-attack", "tick-evade;boost-game,run=2ms", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"tick-evade", "boost-game,run=2ms", "vanilla", "jitter", "exact", "both"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attack matrix missing %q:\n%s", want, out)
+		}
+	}
+	// Same seed ⇒ byte-identical, serial vs parallel.
+	code2, out2, _ := runCmd(t, "-attack", "tick-evade;boost-game,run=2ms", "-seed", "1", "-parallel=false")
+	if code2 != 0 || out2 != out {
+		t.Fatalf("serial attack sweep differs from parallel (exit %d)", code2)
+	}
+}
+
+func TestAttackSweepRejectsBadSpecs(t *testing.T) {
+	if code, _, _ := runCmd(t, "-attack", "frobnicate"); code != 2 {
+		t.Fatalf("bad spec: exit = %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "-attack", "none;off"); code != 2 {
+		t.Fatalf("all-zero specs: exit = %d, want 2", code)
+	}
+}

@@ -61,6 +61,19 @@ func BackgroundVM(name string, bench workload.Benchmark, mode workload.SyncMode,
 	}
 }
 
+// AttackerVM builds an adversarial VM running the attacker described
+// by spec (see workload.ParseAttack) on vcpus vCPUs.
+func AttackerVM(name string, spec workload.AttackSpec, vcpus int, pins []int) VMSpec {
+	return VMSpec{
+		Name:  name,
+		VCPUs: vcpus,
+		Pin:   pins,
+		Attach: func(k *guest.Kernel, seed uint64) *workload.Instance {
+			return workload.NewAttacker(k, spec, seed)
+		},
+	}
+}
+
 // ServerVM builds a VM running a server workload; stats lands in the
 // returned pointer after the run.
 func ServerVM(name string, spec workload.ServerSpec, vcpus int, pins []int) (VMSpec, **workload.ServerStats) {

@@ -374,6 +374,8 @@ func ByID(id string, opt Options) (Table, bool) {
 		return Blame(opt), true
 	case "watch":
 		return Watch(opt), true
+	case "attack":
+		return Attack(opt), true
 	default:
 		return Table{}, false
 	}
@@ -385,5 +387,5 @@ func IDs() []string {
 	return []string{"fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sadelay",
 		"ab-pull", "ab-salimit", "ab-ticket", "ab-spinblock", "ab-strictco",
-		"claims", "obs", "chaos", "cluster", "blame", "watch"}
+		"claims", "obs", "chaos", "cluster", "blame", "watch", "attack"}
 }

@@ -22,7 +22,7 @@ func goldenOptions() Options {
 }
 
 func goldenIDs() []string {
-	return []string{"fig1a", "fig1b", "claims", "chaos", "cluster", "blame", "watch"}
+	return []string{"fig1a", "fig1b", "claims", "chaos", "cluster", "blame", "watch", "attack"}
 }
 
 func TestGoldenTables(t *testing.T) {
@@ -60,7 +60,7 @@ func TestGoldenMatchesParallelHarness(t *testing.T) {
 	// produce the identical bytes.
 	opt := goldenOptions()
 	opt.Workers = 4
-	for _, id := range []string{"fig1a", "cluster"} {
+	for _, id := range []string{"fig1a", "cluster", "attack"} {
 		tb, _ := ByID(id, opt)
 		want, err := os.ReadFile(filepath.Join("testdata", id+".golden"))
 		if err != nil {

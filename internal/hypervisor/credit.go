@@ -27,16 +27,28 @@ func (h *Hypervisor) tick(p *PCPU) {
 	if v == nil {
 		return
 	}
-	// Tick-sampled credit debiting, as in Xen credit1: whoever runs
-	// when the tick fires pays a full tick's credits, regardless of how
-	// long it has actually run. The resulting misattribution on
-	// contended pCPUs (a vCPU whose dispatch aligns with tick edges can
-	// pay for time it never used) is a faithful reproduction of
-	// credit1's documented sampling unfairness — one ingredient of the
-	// below-fair-share starvation the paper measures.
-	v.credits -= creditsPerTick
-	if v.credits < creditFloor {
-		v.credits = creditFloor
+	if h.cfg.ExactAccounting {
+		// Exact-accounting defense: settle the credits owed for actual
+		// runtime instead of sampling. The cumulative-owed formulation
+		// makes double-charging at tick edges impossible: a vCPU
+		// dispatched mid-tick owes only for the fraction it ran.
+		h.debitExact(v)
+	} else {
+		// Tick-sampled credit debiting, as in Xen credit1: whoever runs
+		// when the tick fires pays a full tick's credits, regardless of
+		// how long it has actually run. The resulting misattribution on
+		// contended pCPUs (a vCPU whose dispatch aligns with tick edges
+		// can pay for time it never used) is a faithful reproduction of
+		// credit1's documented sampling unfairness — one ingredient of
+		// the below-fair-share starvation the paper measures, and the
+		// channel tick-evasion attacks steal through (a vCPU that is
+		// never on-CPU at sampling instants is never charged at all).
+		v.credits -= creditsPerTick
+		if v.credits < creditFloor {
+			v.credits = creditFloor
+		}
+		v.VM.CreditsDebited += creditsPerTick
+		v.VM.mDebited.Add(creditsPerTick)
 	}
 	v.accActive = true
 	// csched_vcpu_acct: after a full accounting period of *runtime*
@@ -123,6 +135,38 @@ func (h *Hypervisor) account() {
 	if h.cfg.Strategy == StrategyRelaxedCo {
 		h.relaxedCoAccount()
 	}
+}
+
+// debitExact settles v's credit debt under exact accounting: the
+// credits owed grow with cumulative runtime (creditsPerTick per
+// cfg.Tick of execution, integer-floored), and each settlement charges
+// only the still-unpaid difference. Called at every tick for the
+// running vCPU and at every deschedule, so no run interval escapes
+// charging and none is charged twice. Any vCPU that accrues a charge is
+// also marked active for the accounting window: activity, like debiting,
+// must come from runstates, or a tick-evader is "forgiven" its debt at
+// each account instant as if it had idled through the window.
+func (h *Hypervisor) debitExact(v *VCPU) {
+	owed := int64(v.RunTime()) * creditsPerTick / int64(h.cfg.Tick)
+	delta := owed - v.debited
+	if delta <= 0 {
+		return
+	}
+	v.debited = owed
+	v.accActive = true
+	v.credits -= int(delta)
+	if v.credits < creditFloor {
+		v.credits = creditFloor
+	}
+	// Priority must track the balance at settlement too: vanilla credit1
+	// only demotes the vCPU sampled by the tick, so a vCPU that is never
+	// on-CPU at sampling instants keeps UNDER (and wake-BOOST
+	// eligibility) no matter how deep in debt it is.
+	if v.credits <= 0 && v.prio != PrioOver {
+		v.prio = PrioOver
+	}
+	v.VM.CreditsDebited += delta
+	v.VM.mDebited.Add(delta)
 }
 
 func prioForCredits(c int) Priority {
@@ -416,6 +460,12 @@ func (h *Hypervisor) deschedule(p *PCPU, disposition RunState, involuntary bool)
 			v.VM.mLWP.Inc()
 		}
 	}
+	if h.cfg.ExactAccounting {
+		// Settle the run interval ending now; the tick path's
+		// cumulative-owed bookkeeping guarantees the overlap with the
+		// last tick settlement is not charged again.
+		h.debitExact(v)
+	}
 	v.ctx.Suspend()
 	h.eng.Cancel(p.sliceEnd)
 	p.sliceEnd = sim.EventRef{}
@@ -449,6 +499,7 @@ func (h *Hypervisor) WakeVCPU(v *VCPU) {
 	v.setState(StateRunnable)
 	if v.prio == PrioUnder || v.prio == PrioBoost {
 		v.prio = PrioBoost
+		v.VM.BoostGrants++
 		v.VM.mBoost.Inc()
 	}
 	p := h.placeVCPU(v)

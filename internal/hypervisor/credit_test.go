@@ -327,3 +327,186 @@ func TestTimerWakesBlockedVCPU(t *testing.T) {
 }
 
 const time10 = 10 * sim.Millisecond
+
+// Exact accounting must charge a vCPU for precisely the nanoseconds it
+// ran — never more (the tick-edge double-charge this regression pins)
+// and never lagging by more than one tick's worth. vm-b's off-grid
+// block/wake cycle forces mid-tick dispatches of both vCPUs.
+func TestExactAccountingMatchesRunstateAtTickBoundaries(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.ExactAccounting = true
+	eng, h, _ := rig(t, cfg, false, 1, 1)
+	b := h.VMs()[1].VCPUs[0]
+	// Block/wake b on a 7ms/3ms cycle, deliberately coprime with the
+	// 10ms tick so dispatch edges wander across tick phases.
+	var cycle func()
+	cycle = func() {
+		if b.State() == StateRunning || b.State() == StateRunnable {
+			h.SchedOpBlock(b)
+			eng.After(3*sim.Millisecond, "wake-b", func() {
+				h.WakeVCPU(b)
+				eng.After(7*sim.Millisecond, "block-b", cycle)
+			})
+		} else {
+			eng.After(7*sim.Millisecond, "retry-b", cycle)
+		}
+	}
+	eng.After(7*sim.Millisecond, "block-b", cycle)
+
+	owed := func(v *VCPU) int64 {
+		return int64(v.RunTime()) * creditsPerTick / int64(cfg.Tick)
+	}
+	eng.Every(sim.Millisecond, "audit", func() {
+		for _, vm := range h.VMs() {
+			for _, v := range vm.VCPUs {
+				o := owed(v)
+				if v.debited > o {
+					t.Errorf("t=%v %s: debited %d > owed %d (double charge)",
+						eng.Now(), v.Name(), v.debited, o)
+				}
+				if lag := o - v.debited; lag > creditsPerTick+1 {
+					t.Errorf("t=%v %s: settlement lags %d credits (> one tick)",
+						eng.Now(), v.Name(), lag)
+				}
+			}
+		}
+	})
+	_ = eng.Run(1 * sim.Second)
+	h.SyncCreditAccounting()
+	for _, vm := range h.VMs() {
+		var wantVM int64
+		for _, v := range vm.VCPUs {
+			if v.debited != owed(v) {
+				t.Fatalf("%s: final debited %d != owed %d for %v run",
+					v.Name(), v.debited, owed(v), v.RunTime())
+			}
+			wantVM += v.debited
+		}
+		if vm.CreditsDebited != wantVM {
+			t.Fatalf("%s: VM debit counter %d != vCPU sum %d", vm.Name, vm.CreditsDebited, wantVM)
+		}
+	}
+}
+
+// A yielding vCPU re-enqueues behind every peer of its own priority
+// class (the yieldHint effective-priority trick), and the hint is
+// consumed by that single enqueue.
+func TestYieldHintOrdersBehindSamePriorityPeers(t *testing.T) {
+	eng, h, _ := rig(t, DefaultConfig(1), false, 1, 1, 1)
+	a := h.VMs()[0].VCPUs[0]
+	eng.After(5*sim.Millisecond, "yield", func() {
+		if a.State() != StateRunning {
+			t.Fatal("vm-a not running at 5ms")
+		}
+		h.SchedOpYield(a)
+		p := h.PCPU(0)
+		// Both queued peers are PrioUnder like a; a must be last.
+		if n := len(p.runq); n == 0 || p.runq[n-1] != a {
+			t.Errorf("yielder not at runqueue tail: %v", p.runq)
+		}
+		if a.yieldHint {
+			t.Error("yieldHint survived the enqueue")
+		}
+	})
+	_ = eng.Run(50 * sim.Millisecond)
+}
+
+// BOOST is re-entrant: expiry at a tick demotes to the credit-derived
+// class, but any later block/wake cycle re-grants it as long as the
+// vCPU is not OVER — the exact loop the boost-gamer farms. An OVER
+// vCPU waking must NOT be boosted.
+func TestBoostReentryAfterWake(t *testing.T) {
+	cfg := DefaultConfig(1)
+	eng, h, _ := rig(t, cfg, false, 1)
+	a := h.VMs()[0].VCPUs[0]
+	grants := func() int64 { return h.VMs()[0].BoostGrants }
+	block := func(label string) {
+		if !h.SchedOpBlock(a) {
+			t.Fatalf("%s: SchedOpBlock refused (state %v)", label, a.State())
+		}
+	}
+
+	eng.After(5*sim.Millisecond, "block-1", func() { block("block-1") })
+	eng.After(15*sim.Millisecond, "wake-1", func() {
+		h.WakeVCPU(a)
+		if a.Prio() != PrioBoost {
+			t.Errorf("first wake: prio = %v, want BOOST", a.Prio())
+		}
+		if grants() != 1 {
+			t.Errorf("first wake: grants = %d, want 1", grants())
+		}
+	})
+	// By 35ms at least two ticks have fired, expiring the boost.
+	eng.After(35*sim.Millisecond, "block-2", func() {
+		if a.Prio() == PrioBoost {
+			t.Error("boost did not expire at a tick")
+		}
+		block("block-2")
+	})
+	eng.After(45*sim.Millisecond, "wake-2", func() {
+		// Pin the credit class: re-entry is gated on UNDER, and by now
+		// the tick debits may have pushed a into OVER.
+		a.credits = 100
+		a.prio = PrioUnder
+		h.WakeVCPU(a)
+		if a.Prio() != PrioBoost {
+			t.Errorf("second wake: prio = %v, want BOOST (re-entry)", a.Prio())
+		}
+		if grants() != 2 {
+			t.Errorf("second wake: grants = %d, want 2", grants())
+		}
+	})
+	// An OVER vCPU (credits exhausted) gets no boost on wake.
+	eng.After(55*sim.Millisecond, "block-3", func() {
+		a.credits = -200
+		a.prio = PrioOver
+		block("block-3")
+	})
+	eng.After(58*sim.Millisecond, "wake-3", func() {
+		h.WakeVCPU(a)
+		if a.Prio() == PrioBoost {
+			t.Error("OVER vCPU was boosted on wake")
+		}
+		if grants() != 2 {
+			t.Errorf("OVER wake: grants = %d, want 2 (no new grant)", grants())
+		}
+		eng.Stop()
+	})
+	_ = eng.Run(300 * sim.Millisecond)
+}
+
+// Jittered tick sampling keeps the mean debit rate (the defense must
+// not change honest tenants' bills) and stays deterministic per seed.
+func TestJitteredTickPreservesMeanRateDeterministically(t *testing.T) {
+	run := func(seed uint64) int64 {
+		cfg := DefaultConfig(1)
+		cfg.TickJitter = 0.3
+		cfg.Seed = seed
+		eng, h, _ := rig(t, cfg, false, 1)
+		_ = eng.Run(2 * sim.Second)
+		return h.VMs()[0].CreditsDebited
+	}
+	d1 := run(1)
+	if d1 != run(1) {
+		t.Fatal("same-seed jittered runs diverged")
+	}
+	// 2s / 10ms mean period = ~200 ticks of 100 credits.
+	if d1 < 170*creditsPerTick || d1 > 230*creditsPerTick {
+		t.Fatalf("jittered tick debited %d credits over 2s, want ~200 ticks' worth", d1)
+	}
+}
+
+func TestTickJitterOutOfRangePanics(t *testing.T) {
+	for _, j := range []float64{-0.1, 1.0, 2.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TickJitter=%v did not panic", j)
+				}
+			}()
+			cfg := DefaultConfig(1)
+			cfg.TickJitter = j
+			New(sim.NewEngine(), cfg)
+		}()
+	}
+}

@@ -98,6 +98,24 @@ type Config struct {
 	// real schedulers. Only meaningful with LoadBalance.
 	RepickEpsilon float64
 
+	// TickJitter, when positive, randomizes credit-tick sampling: each
+	// pCPU re-arms its next tick after Tick scaled by a uniform factor
+	// in [1-TickJitter, 1+TickJitter], drawn from a per-pCPU stream
+	// forked from Seed (mean period, and hence total debit rate, is
+	// preserved). 0 keeps credit1's aligned tick grid — whose
+	// predictability is what tick-evasion attacks exploit. Must be in
+	// [0, 1).
+	TickJitter float64
+
+	// ExactAccounting replaces tick-sampled debiting with exact
+	// runstate-based charging: a vCPU owes credits for the nanoseconds
+	// it actually ran (creditsPerTick per Tick of runtime), settled at
+	// every tick and every deschedule. This closes the theft channel of
+	// a vCPU that arranges never to be on-CPU when the tick fires, and
+	// also fixes the converse misattribution (paying a full tick after
+	// a mid-tick dispatch).
+	ExactAccounting bool
+
 	// IRQCost is the hypervisor-side cost of injecting an interrupt.
 	IRQCost sim.Time
 
@@ -180,6 +198,9 @@ func New(eng *sim.Engine, cfg Config) *Hypervisor {
 	if cfg.PCPUs <= 0 {
 		panic("hypervisor: need at least one pCPU")
 	}
+	if cfg.TickJitter < 0 || cfg.TickJitter >= 1 {
+		panic("hypervisor: TickJitter must be in [0, 1)")
+	}
 	h := &Hypervisor{
 		eng: eng,
 		cfg: cfg,
@@ -203,9 +224,25 @@ func New(eng *sim.Engine, cfg Config) *Hypervisor {
 			return float64(n)
 		})
 		h.pcpus = append(h.pcpus, p)
-		// All pCPU ticks share one aligned grid, as in Xen where the
-		// credit scheduler's ticks derive from a common periodic timer.
-		eng.Every(cfg.Tick, fmt.Sprintf("xen-tick-%s", p.Name()), func() { h.tick(p) })
+		if cfg.TickJitter > 0 {
+			// Jittered-tick defense: each pCPU owns a self-re-arming tick
+			// chain whose next delay is drawn from an independent stream,
+			// so a guest cannot predict sampling instants from wall time.
+			tickRNG := h.rng.Fork(0x71c0 + uint64(i))
+			name := fmt.Sprintf("xen-tick-%s", p.Name())
+			var arm func()
+			arm = func() {
+				h.eng.After(tickRNG.Jitter(cfg.Tick, cfg.TickJitter), name, func() {
+					h.tick(p)
+					arm()
+				})
+			}
+			arm()
+		} else {
+			// All pCPU ticks share one aligned grid, as in Xen where the
+			// credit scheduler's ticks derive from a common periodic timer.
+			eng.Every(cfg.Tick, fmt.Sprintf("xen-tick-%s", p.Name()), func() { h.tick(p) })
+		}
 	}
 	eng.Every(cfg.AccountPeriod, "xen-account", h.account)
 	if cfg.Strategy == StrategyStrictCo {
@@ -284,6 +321,7 @@ func (h *Hypervisor) NewVM(name string, nvcpus, weight int, saCapable bool) *VM 
 	vm.mLWP = reg.Counter("hv_lwp_total", vmL)
 	vm.mBoost = reg.Counter("hv_boost_total", vmL)
 	vm.mCredits = reg.Counter("hv_credits_granted_total", vmL)
+	vm.mDebited = reg.Counter("hv_credits_debited_total", vmL)
 	for i := 0; i < nvcpus; i++ {
 		v := &VCPU{
 			ID:       i,
@@ -346,6 +384,63 @@ func (h *Hypervisor) SAFallbacks() int64 { return h.saFallbacks }
 
 // PLEYields reports how many pause-loop exits forced a yield.
 func (h *Hypervisor) PLEYields() int64 { return h.pleYields }
+
+// TheftStat is one VM's obtained-vs-fair-share CPU accounting over an
+// elapsed interval: the theft metric of the adversarial-tenant
+// experiments (DESIGN.md §13). Fair is the weight-proportional slice of
+// total machine capacity assuming every VM wants CPU for the whole
+// interval; Ratio is Obtained/Fair, so an honest tenant under full
+// contention sits near 1.0 and a theft-of-service attacker above it.
+type TheftStat struct {
+	Name        string
+	Obtained    sim.Time // cumulative runtime across the VM's vCPUs
+	Fair        sim.Time // weight-proportional share of capacity
+	Ratio       float64  // Obtained / Fair
+	BoostGrants int64    // BOOST priorities granted on wake
+	Debited     int64    // credits charged (tick-sampled or exact)
+}
+
+// TheftStats computes per-VM obtained-vs-fair-share accounting over the
+// first elapsed time of the run, in VM creation order.
+func (h *Hypervisor) TheftStats(elapsed sim.Time) []TheftStat {
+	totalWeight := 0
+	for _, vm := range h.vms {
+		totalWeight += vm.Weight
+	}
+	capacity := elapsed * sim.Time(len(h.pcpus))
+	stats := make([]TheftStat, 0, len(h.vms))
+	for _, vm := range h.vms {
+		st := TheftStat{
+			Name:        vm.Name,
+			Obtained:    vm.TotalRunTime(),
+			BoostGrants: vm.BoostGrants,
+			Debited:     vm.CreditsDebited,
+		}
+		if totalWeight > 0 {
+			st.Fair = capacity * sim.Time(vm.Weight) / sim.Time(totalWeight)
+		}
+		if st.Fair > 0 {
+			st.Ratio = float64(st.Obtained) / float64(st.Fair)
+		}
+		stats = append(stats, st)
+	}
+	return stats
+}
+
+// SyncCreditAccounting settles the exact-accounting debt of every
+// currently running vCPU, so that after the call each vCPU's debited
+// total equals the credits owed for its cumulative runtime. A no-op
+// without ExactAccounting (tick sampling has no accruing debt).
+func (h *Hypervisor) SyncCreditAccounting() {
+	if !h.cfg.ExactAccounting {
+		return
+	}
+	for _, p := range h.pcpus {
+		if v := p.current; v != nil {
+			h.debitExact(v)
+		}
+	}
+}
 
 // VCPUMigrations reports hypervisor-level vCPU-to-pCPU migrations.
 func (h *Hypervisor) VCPUMigrations() int64 { return h.vcpuMigrations }

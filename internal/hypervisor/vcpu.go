@@ -116,6 +116,11 @@ type VCPU struct {
 
 	prio    Priority
 	credits int
+	// debited is the cumulative credits charged to this vCPU under
+	// exact accounting; the next settlement charges the difference
+	// between the credits owed for total runtime and this figure, so a
+	// run interval is never charged twice (tick + deschedule edges).
+	debited int64
 
 	pcpu     *PCPU // where running, nil otherwise
 	assigned *PCPU // home runqueue
@@ -275,6 +280,14 @@ type VM struct {
 	LHPCount int64
 	LWPCount int64
 
+	// BoostGrants counts BOOST priorities granted on wake; CreditsDebited
+	// the credits charged across all vCPUs (tick-sampled or exact).
+	// Together with TheftStats they make scheduler theft first-class:
+	// a tick-evader shows near-zero debits, a boost-gamer an outsized
+	// grant count.
+	BoostGrants    int64
+	CreditsDebited int64
+
 	// Metric handles (nil, hence no-op, without a registry).
 	mPreemptWait *obs.Histogram
 	mSAAck       *obs.Histogram
@@ -287,6 +300,7 @@ type VM struct {
 	mLWP         *obs.Counter
 	mBoost       *obs.Counter
 	mCredits     *obs.Counter
+	mDebited     *obs.Counter
 }
 
 // TotalRunTime sums the execution time of all vCPUs.

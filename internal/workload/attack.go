@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/guest"
+	"repro/internal/sim"
+)
+
+// This file models adversarial tenants: guest programs that game the
+// credit scheduler's accounting instead of doing useful work, after
+// "Scheduler Vulnerabilities and Attacks in Cloud Computing" (Zhou et
+// al., PAPERS.md). Two attack families are implemented:
+//
+//   - tick-evade: the guest knows the hypervisor samples credit debits
+//     on a periodic tick (Xen credit1: 10 ms, aligned). It computes
+//     wall-clock phase, runs flat out between ticks, and sleeps across
+//     each sampling instant — so under vanilla accounting it is never
+//     on-CPU when the bill arrives. Sleeping also re-enters BOOST on
+//     every wake, compounding the theft.
+//   - boost-game: a sleep/wake duty cycle tuned to re-enter the
+//     transient PrioBoost class as often as the ratelimit allows,
+//     jumping honest CPU-bound tenants in the runqueue.
+//
+// Both are deterministic and seeded; the optional jitter knob perturbs
+// the attacker's own timing (modelling imperfect guest timers) from a
+// forked per-thread stream, never from global state.
+
+// AttackKind discriminates the attacker families.
+type AttackKind int
+
+const (
+	// AttackNone is the zero spec: no attacker.
+	AttackNone AttackKind = iota
+	// AttackTickEvade sleeps across each credit-sampling tick.
+	AttackTickEvade
+	// AttackBoostGame sleep/wake cycles to farm BOOST priority.
+	AttackBoostGame
+)
+
+func (k AttackKind) String() string {
+	switch k {
+	case AttackNone:
+		return "none"
+	case AttackTickEvade:
+		return "tick-evade"
+	case AttackBoostGame:
+		return "boost-game"
+	default:
+		return fmt.Sprintf("AttackKind(%d)", int(k))
+	}
+}
+
+// AttackSpec parameterizes one attacker. The zero value is "no
+// attacker"; unset fields take the defaults documented per field (see
+// withDefaults). Specs parse from strings (ParseAttack) so the CLIs can
+// drive attackers from flags, mirroring fault.ParsePlan.
+type AttackSpec struct {
+	Kind AttackKind
+
+	// Period is the sampling tick the evader hides from (default: the
+	// hypervisor's 10 ms credit tick).
+	Period sim.Time
+	// Margin is how long before each predicted tick the evader goes to
+	// sleep — its safety margin against dispatch latency (default
+	// 500 µs).
+	Margin sim.Time
+	// Resume is how long after the predicted tick the evader wakes
+	// (default 50 µs).
+	Resume sim.Time
+
+	// Run and Sleep are the boost-gamer's duty cycle: run flat out for
+	// Run, sleep Sleep to re-arm the wake boost (defaults 900 µs /
+	// 100 µs — just above the 1 ms ratelimit when combined).
+	Run   sim.Time
+	Sleep sim.Time
+
+	// Threads is how many attacker tasks to spawn (default 1; they are
+	// placed round-robin over the guest CPUs).
+	Threads int
+
+	// Jitter scales each cycle's durations by a uniform factor in
+	// [1-Jitter, 1+Jitter] from a seeded per-thread stream, modelling
+	// an attacker with imperfect timer knowledge. 0 = exact timing.
+	Jitter float64
+}
+
+// Zero reports whether the spec describes no attacker.
+func (s AttackSpec) Zero() bool { return s == AttackSpec{} }
+
+// withDefaults fills unset fields with the documented defaults.
+func (s AttackSpec) withDefaults() AttackSpec {
+	if s.Period == 0 {
+		s.Period = 10 * sim.Millisecond
+	}
+	if s.Margin == 0 {
+		s.Margin = 500 * sim.Microsecond
+	}
+	if s.Resume == 0 {
+		s.Resume = 50 * sim.Microsecond
+	}
+	if s.Run == 0 {
+		s.Run = 900 * sim.Microsecond
+	}
+	if s.Sleep == 0 {
+		s.Sleep = 100 * sim.Microsecond
+	}
+	if s.Threads == 0 {
+		s.Threads = 1
+	}
+	return s
+}
+
+// Validate rejects malformed specs: fields without a kind, negative or
+// out-of-range knobs, or an evasion window wider than the period.
+func (s AttackSpec) Validate() error {
+	if s.Kind == AttackNone {
+		if !s.Zero() {
+			return fmt.Errorf("workload: attack fields set without a kind")
+		}
+		return nil
+	}
+	if s.Kind != AttackTickEvade && s.Kind != AttackBoostGame {
+		return fmt.Errorf("workload: unknown attack kind %d", int(s.Kind))
+	}
+	durs := []struct {
+		name string
+		v    sim.Time
+	}{
+		{"period", s.Period}, {"margin", s.Margin}, {"resume", s.Resume},
+		{"run", s.Run}, {"sleep", s.Sleep},
+	}
+	for _, d := range durs {
+		if d.v < 0 {
+			return fmt.Errorf("workload: attack %s=%v negative", d.name, d.v)
+		}
+	}
+	if s.Threads < 0 {
+		return fmt.Errorf("workload: attack threads=%d negative", s.Threads)
+	}
+	if s.Jitter < 0 || s.Jitter >= 1 {
+		return fmt.Errorf("workload: attack jitter=%v outside [0, 1)", s.Jitter)
+	}
+	d := s.withDefaults()
+	if d.Margin+d.Resume >= d.Period {
+		return fmt.Errorf("workload: attack margin+resume (%v) must be below period (%v)",
+			(d.Margin + d.Resume).Std(), d.Period.Std())
+	}
+	return nil
+}
+
+// String renders the spec as a canonical string ParseAttack accepts:
+// the kind followed by comma-separated key=value pairs in fixed order,
+// zero (defaulted) fields omitted. The zero spec renders as "none".
+func (s AttackSpec) String() string {
+	if s.Kind == AttackNone {
+		return "none"
+	}
+	parts := []string{s.Kind.String()}
+	dur := func(key string, v sim.Time) {
+		if v != 0 {
+			parts = append(parts, key+"="+v.Std().String())
+		}
+	}
+	dur("period", s.Period)
+	dur("margin", s.Margin)
+	dur("resume", s.Resume)
+	dur("run", s.Run)
+	dur("sleep", s.Sleep)
+	if s.Threads != 0 {
+		parts = append(parts, "threads="+strconv.Itoa(s.Threads))
+	}
+	if s.Jitter != 0 {
+		parts = append(parts, "jitter="+strconv.FormatFloat(s.Jitter, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseAttack parses an attacker spec: a kind ("tick-evade" or
+// "boost-game") optionally followed by comma-separated key=value pairs
+// (period, margin, resume, run, sleep as Go durations; threads as an
+// int; jitter as a float in [0,1)). "", "none" and "off" parse as the
+// zero spec. The result of AttackSpec.String always round-trips.
+func ParseAttack(spec string) (AttackSpec, error) {
+	var s AttackSpec
+	spec = strings.TrimSpace(spec)
+	switch strings.ToLower(spec) {
+	case "", "none", "off":
+		return s, nil
+	}
+	fields := strings.Split(spec, ",")
+	switch strings.ToLower(strings.TrimSpace(fields[0])) {
+	case "tick-evade":
+		s.Kind = AttackTickEvade
+	case "boost-game":
+		s.Kind = AttackBoostGame
+	default:
+		return AttackSpec{}, fmt.Errorf("workload: unknown attack kind %q (want tick-evade or boost-game)", strings.TrimSpace(fields[0]))
+	}
+	durFields := map[string]*sim.Time{
+		"period": &s.Period,
+		"margin": &s.Margin,
+		"resume": &s.Resume,
+		"run":    &s.Run,
+		"sleep":  &s.Sleep,
+	}
+	seen := map[string]bool{}
+	for _, part := range fields[1:] {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return AttackSpec{}, fmt.Errorf("workload: attack %q is not key=value", part)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return AttackSpec{}, fmt.Errorf("workload: duplicate attack key %q", key)
+		}
+		seen[key] = true
+		switch {
+		case durFields[key] != nil:
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return AttackSpec{}, fmt.Errorf("workload: attack %s: %v", key, err)
+			}
+			*durFields[key] = sim.Duration(d)
+		case key == "threads":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return AttackSpec{}, fmt.Errorf("workload: attack threads: %v", err)
+			}
+			s.Threads = n
+		case key == "jitter":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return AttackSpec{}, fmt.Errorf("workload: attack jitter: %v", err)
+			}
+			s.Jitter = f
+		default:
+			return AttackSpec{}, fmt.Errorf("workload: unknown attack key %q", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return AttackSpec{}, err
+	}
+	return s, nil
+}
+
+// tickEvadeProg runs until just before each predicted sampling tick,
+// then sleeps across it. The phase arithmetic works on wall clock, so a
+// preemption that delays the compute segment past the danger window is
+// detected and the pointless sleep skipped.
+type tickEvadeProg struct {
+	spec AttackSpec
+	rng  *sim.RNG
+}
+
+func (p *tickEvadeProg) Step(t *guest.Task) guest.Action {
+	now := t.Kernel().Now()
+	margin := p.rng.Jitter(p.spec.Margin, p.spec.Jitter)
+	phase := now % p.spec.Period
+	runFor := p.spec.Period - margin - phase
+	if runFor < 0 {
+		runFor = 0
+	}
+	return guest.RunThen(runFor, func(t *guest.Task, resume func()) {
+		k := t.Kernel()
+		ph := k.Now() % p.spec.Period
+		if ph >= p.spec.Period-margin {
+			// Inside the danger window: hide from the imminent tick and
+			// come back just after it — with a fresh BOOST, no less.
+			k.SleepTask(t, p.spec.Period-ph+p.spec.Resume, resume)
+			return
+		}
+		// The compute segment was stretched past the tick by contention;
+		// sleeping now would only waste runnable time.
+		resume()
+	})
+}
+
+// boostGameProg is a plain duty cycle: run, sleep, wake boosted,
+// repeat.
+type boostGameProg struct {
+	spec AttackSpec
+	rng  *sim.RNG
+}
+
+func (p *boostGameProg) Step(t *guest.Task) guest.Action {
+	run := p.rng.Jitter(p.spec.Run, p.spec.Jitter)
+	return guest.RunThen(run, func(t *guest.Task, resume func()) {
+		t.Kernel().SleepTask(t, p.rng.Jitter(p.spec.Sleep, p.spec.Jitter), resume)
+	})
+}
+
+// NewAttacker instantiates the attacker described by spec on kern.
+// Attackers never finish (Endless, like hogs); spec defaults are
+// applied here, so sparse parsed specs work directly.
+func NewAttacker(kern *guest.Kernel, spec AttackSpec, seed uint64) *Instance {
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if spec.Kind == AttackNone {
+		panic("workload: NewAttacker with no attack kind")
+	}
+	spec = spec.withDefaults()
+	in := &Instance{Name: "attack-" + spec.Kind.String(), kern: kern, Endless: true}
+	in.spawn = func() {
+		rng := sim.NewRNG(seed ^ 0xa77acc)
+		for i := 0; i < spec.Threads; i++ {
+			var prog guest.Program
+			switch spec.Kind {
+			case AttackTickEvade:
+				prog = &tickEvadeProg{spec: spec, rng: rng.Fork(uint64(i))}
+			default:
+				prog = &boostGameProg{spec: spec, rng: rng.Fork(uint64(i))}
+			}
+			kern.Spawn(fmt.Sprintf("atk-%d", i), prog, i%len(kern.CPUs()))
+		}
+	}
+	return in
+}
