@@ -5,12 +5,13 @@
 GO ?= go
 
 # Committed benchmark baseline for the regression gate (see
-# cmd/benchjson and DESIGN.md §9).
-BENCH_SNAPSHOT ?= BENCH_3.json
+# cmd/benchjson and DESIGN.md §9). BENCH_4 adds the cluster
+# events/sec throughput rows (DESIGN.md §14).
+BENCH_SNAPSHOT ?= BENCH_4.json
 
-.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch attack
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch attack scale
 
-check: build vet race examples blame watch attack
+check: build vet race examples blame watch attack scale
 
 build:
 	$(GO) build ./...
@@ -42,7 +43,7 @@ bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem ./... > bench.new.out || { cat bench.new.out; rm -f bench.new.out; exit 1; }
 	@cat bench.new.out
 	$(GO) run ./cmd/benchjson -o bench.new.json < bench.new.out
-	$(GO) run ./cmd/benchjson -compare $(BENCH_SNAPSHOT) bench.new.json -tolerance 0.15
+	$(GO) run ./cmd/benchjson -compare -tolerance 0.15 $(BENCH_SNAPSHOT) bench.new.json
 	@rm -f bench.new.out bench.new.json
 
 # Latency blame attribution smoke run: per-strategy p50/p99/p99.9
@@ -77,6 +78,13 @@ attack:
 # Robustness sweep: fault rates vs strategies with invariant audits.
 chaos:
 	$(GO) run ./cmd/irsim -runs 1 chaos
+
+# Sharded-simulation gate: the per-host engine pool must be data-race
+# free and byte-identical to the serial coordinator at every shard
+# width (DESIGN.md §14).
+scale:
+	$(GO) test -race ./internal/sim ./internal/cluster
+	$(GO) test ./internal/experiments -run TestShardedMatchesSerial
 
 # Compile and run every example end to end (each also has a unit test
 # exercising its run() body, picked up by `make test`).

@@ -18,6 +18,9 @@
 //     it is gated when the two snapshots' host metadata (OS, arch, CPU
 //     model, CPU count, GOMAXPROCS) agrees and reported as
 //     informational otherwise.
+//   - events/sec (simulation throughput from the cluster benchmarks)
+//     gates like ns/op — matching hardware only — but in the opposite
+//     direction: a relative drop beyond the tolerance fails.
 //   - a benchmark present in the baseline but missing from the new
 //     snapshot fails (coverage loss); new benchmarks are noted.
 //
@@ -223,21 +226,28 @@ func compareSnapshots(stdout, stderr io.Writer, basePath, newPath string, tol fl
 	sort.Strings(names)
 
 	failures := 0
-	check := func(name, metric string, gate bool) {
+	// check gates one metric; lowerIsBetter selects which direction of
+	// drift beyond the tolerance counts as a regression (ns/op and
+	// allocs/op shrink when things improve; events/sec grows).
+	check := func(name, metric string, gate, lowerIsBetter bool) {
 		old, okOld := base.Benchmarks[name][metric]
 		now, okNew := cur.Benchmarks[name][metric]
 		if !okOld || !okNew || old == 0 {
 			return
 		}
 		delta := (now - old) / old
+		worse, better := delta > tol, delta < -tol
+		if !lowerIsBetter {
+			worse, better = delta < -tol, delta > tol
+		}
 		status := "ok"
 		switch {
-		case delta > tol && gate:
+		case worse && gate:
 			status = "REGRESSION"
 			failures++
-		case delta > tol:
+		case worse:
 			status = "worse (ungated)"
-		case delta < -tol:
+		case better:
 			status = "improved"
 		}
 		fmt.Fprintf(stdout, "%-40s %-10s %12.2f -> %12.2f  %+6.1f%%  %s\n",
@@ -249,8 +259,11 @@ func compareSnapshots(stdout, stderr io.Writer, basePath, newPath string, tol fl
 			failures++
 			continue
 		}
-		check(name, "ns/op", gateTime)
-		check(name, "allocs/op", true)
+		check(name, "ns/op", gateTime, true)
+		check(name, "allocs/op", true, true)
+		// Simulation throughput is wall-clock-derived, so like ns/op it
+		// only gates between matching hosts.
+		check(name, "events/sec", gateTime, false)
 	}
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {

@@ -95,6 +95,32 @@ func TestCompareGate(t *testing.T) {
 	if code := run([]string{"-compare", base, shortPath}, nil, &out, &errOut); code != 1 {
 		t.Fatalf("missing benchmark not gated (exit %d):\n%s", code, out.String())
 	}
+
+	// events/sec gates in the opposite direction: a throughput DROP
+	// beyond the tolerance fails on matching hardware...
+	slow := strings.Replace(sampleBench, "12875772 events/sec", "6875772 events/sec", 1)
+	slowPath := writeSnap(t, dir, "slow.json", slow)
+	out.Reset()
+	if code := run([]string{"-compare", base, slowPath}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("events/sec drop not gated (exit %d):\n%s", code, out.String())
+	}
+	// ...a throughput gain is an improvement, not a regression...
+	fast := strings.Replace(sampleBench, "12875772 events/sec", "22875772 events/sec", 1)
+	fastPath := writeSnap(t, dir, "fast.json", fast)
+	out.Reset()
+	if code := run([]string{"-compare", base, fastPath}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("events/sec gain gated as a regression (exit %d):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "improved") {
+		t.Errorf("throughput gain not reported as improved:\n%s", out.String())
+	}
+	// ...and across hosts the drop is reported but ungated.
+	slowFar := writeSnap(t, dir, "slowfar.json", slow)
+	mutateHost(t, slowFar)
+	out.Reset()
+	if code := run([]string{"-compare", base, slowFar}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("cross-host events/sec drop should not gate (exit %d):\n%s", code, out.String())
+	}
 }
 
 // mutateHost rewrites a snapshot's num_cpu so it looks like a

@@ -11,7 +11,7 @@
 //	irsweep -bench streamcluster -inter 0,1,2,4 [-mode spin|block] [-vcpus 4]
 //	        [-unpinned] [-seed S] [-runs N] [-parallel] [-workers N]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	irsweep -cluster [-hosts 2,3,4] [-seed S] [-parallel] [-workers N]
+//	irsweep -cluster [-hosts 2,3,4] [-shards N] [-lookahead 250us] [-seed S] [-parallel] [-workers N]
 //	irsweep -attack "tick-evade;boost-game,run=2ms" [-seed S] [-parallel] [-workers N]
 //	irsweep -list
 package main
@@ -51,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	clusterSweep := fs.Bool("cluster", false, "sweep the multi-host placement variants across rack sizes")
 	hostsList := fs.String("hosts", "2,3,4", "comma-separated host counts for -cluster")
+	shards := fs.Int("shards", 0, "per-host engine shards inside each -cluster cell (0 = auto, 1 = serial; output is identical at any setting)")
+	lookahead := fs.Duration("lookahead", 0, "conservative window width for sharded -cluster cells (0 = default 250µs; changing it changes results)")
 	attackList := fs.String("attack", "", "semicolon-separated attacker specs to sweep against every accounting defense")
 	parallel := fs.Bool("parallel", true, "fan sweep cells across worker goroutines")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -110,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "irsweep: bad -hosts %q\n", *hostsList)
 			return 2
 		}
-		return clusterMatrix(stdout, stderr, hosts, *seed, nWorkers)
+		return clusterMatrix(stdout, stderr, hosts, *seed, nWorkers, *shards, sim.Duration(*lookahead))
 	}
 
 	if *attackList != "" {
@@ -212,7 +214,7 @@ func parseIntList(s string) ([]int, bool) {
 // clusterMatrix sweeps the experiment's placement variants over rack
 // sizes: one row per host count, one column pair (p99, SLO-violation
 // rate) per variant.
-func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers int) int {
+func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers, shards int, lookahead sim.Time) int {
 	variants := experiments.ClusterVariants()
 	type cell struct {
 		p99  sim.Time
@@ -228,6 +230,10 @@ func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers 
 			fns = append(fns, func() {
 				cfg := experiments.ClusterConfig(v, seed)
 				cfg.Hosts = n
+				cfg.Shards = shards
+				if lookahead > 0 {
+					cfg.Lookahead = lookahead
+				}
 				c, err := cluster.New(cfg)
 				if err != nil {
 					cells[hi*len(variants)+vi] = cell{err: err}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Simulation-throughput benchmarks: how many engine events per
+// wall-clock second the cluster dispatches, serially and on the
+// sharded coordinator. events/sec is the hardware-portable progress
+// metric the benchjson gate tracks (higher is better) — on a 1-core
+// runner the sharded run cannot beat serial by wall time, but a
+// coordinator or mailbox regression still shows up as a throughput
+// drop on either row.
+
+// benchCluster runs the default rig at the given shard width and
+// reports events/sec.
+func benchCluster(b *testing.B, shards int) {
+	b.Helper()
+	var events uint64
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall += time.Since(start)
+		events += res.Events
+	}
+	if wall > 0 {
+		b.ReportMetric(float64(events)/wall.Seconds(), "events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+func BenchmarkClusterSerial(b *testing.B)  { benchCluster(b, 1) }
+func BenchmarkClusterSharded(b *testing.B) { benchCluster(b, 0) }
+
+// BenchmarkClusterShardedRack scales the rig to a 16-host rack — wide
+// enough that the per-host engine pool has real parallelism to win on
+// multi-core runners.
+func BenchmarkClusterShardedRack(b *testing.B) {
+	var events uint64
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Hosts = 16
+		cfg.Duration = 5 * sim.Second
+		cfg.Drain = sim.Second
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall += time.Since(start)
+		events += res.Events
+	}
+	if wall > 0 {
+		b.ReportMetric(float64(events)/wall.Seconds(), "events/sec")
+	}
+}

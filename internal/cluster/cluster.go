@@ -1,10 +1,22 @@
 // Package cluster models a rack of simulated hosts — each running the
-// full hypervisor+guest stack on one shared deterministic engine —
+// full hypervisor+guest stack on its own discrete-event engine shard —
 // under a cluster scheduler that places incoming VMs by predicted
 // interference, live-migrates whole VMs away from interference
 // hot-spots, and routes an open-loop request stream across the server
 // replicas so cluster-level tail latency and SLO-violation rate become
 // first-class outputs.
+//
+// Execution is a conservative parallel discrete-event simulation
+// (sim.ShardedEngine): shard 0 is the control plane (arrival stream +
+// router), shards 1..Hosts are the hosts. Each round every shard runs
+// independently up to the lookahead — the router's minimum transit
+// latency, the floor on any cross-host interaction — then a barrier
+// exchanges cross-host traffic and runs the control-plane tasks
+// (placement, the migration state machine, blackouts, invariant audits,
+// watchdog epochs) with every shard parked at one instant, exactly the
+// semantics they had on a single shared engine. Host shards execute on
+// a bounded goroutine pool (Config.Shards); the output is byte-
+// identical at any pool size by construction.
 //
 // The paper fixes lock-holder preemption inside one host; this layer is
 // the deployment surface above it: the per-host steal / preempt-wait /
@@ -15,6 +27,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/fault"
@@ -74,6 +87,11 @@ type VMSpec struct {
 	Sensitive bool
 }
 
+// DefaultLookahead is the router's transit latency and therefore the
+// conservative sync window: a quarter millisecond of simulated network
+// hop, comfortably under every control-plane cadence.
+const DefaultLookahead = 250 * sim.Microsecond
+
 // Config parameterizes a cluster run.
 type Config struct {
 	Hosts        int
@@ -87,6 +105,16 @@ type Config struct {
 	// Overcommit bounds committed vCPUs per host at
 	// Overcommit×PCPUsPerHost (soft for placement fallback).
 	Overcommit float64
+
+	// Shards bounds the goroutine pool that executes host engine
+	// windows: 1 is fully serial, 0 picks min(GOMAXPROCS, Hosts+1).
+	// The pool size is invisible to the simulation — output is
+	// byte-identical at any value.
+	Shards int
+	// Lookahead is the conservative sync window and the router's
+	// transit latency (the minimum delay of any cross-host event).
+	// Zero means DefaultLookahead.
+	Lookahead sim.Time
 
 	Seed uint64
 	// Duration is how long the request stream runs; Drain is the extra
@@ -174,7 +202,7 @@ func DefaultConfig() Config {
 		Arrival:           1250 * sim.Microsecond,
 		SLO:               20 * sim.Millisecond,
 		MonitorInterval:   500 * sim.Millisecond,
-		StealTrigger:      0.1,
+		StealTrigger:      0.09,
 		HotThreshold:      1.3,
 		MigrationPause:    25 * sim.Millisecond,
 		CopyPerVCPU:       40 * sim.Millisecond,
@@ -216,14 +244,58 @@ func StandardMix(servers, serverVCPUs, antagonists, antagonistVCPUs int, spacing
 	return out
 }
 
-// Host is one simulated machine in the rack. Each host gets its own
-// metrics registry (per-host metric namespaces, as per-host scrape
-// endpoints would be) and its own forked fault-injector stream.
+// servedRec is one completed request, observed on the serving host's
+// shard and drained to the control plane at the next barrier.
+type servedRec struct {
+	at  sim.Time
+	lat sim.Time
+	hd  *VMHandle
+}
+
+// occRec is one pCPU occupancy interval bound for the watchdog's
+// attribution store.
+type occRec struct {
+	at   sim.Time
+	vm   string
+	pcpu string
+	dur  sim.Time
+}
+
+// bounceRec is a request that reached its host after the target gate
+// sealed for a migration switchover; the barrier drain re-routes it.
+type bounceRec struct {
+	hd  *VMHandle
+	req workload.Request
+}
+
+// hostOutbox buffers a host shard's observations for the barrier
+// drain. Each is written only by its host's window execution (or by
+// barrier context) and read only at barriers, so no locking is needed;
+// the slices are reset in place to keep the steady state allocation-
+// free.
+type hostOutbox struct {
+	served    []servedRec
+	delivered []*VMHandle
+	bounced   []bounceRec
+	occ       []occRec
+	viols     []invariant.Violation
+}
+
+// Host is one simulated machine in the rack: a full hypervisor+guest
+// stack on its own engine shard, with its own metrics registry
+// (per-host metric namespaces, as per-host scrape endpoints would be),
+// its own forked fault-injector stream, its own invariant checker, and
+// an outbox carrying its observations to the control plane.
 type Host struct {
 	ID  int
 	HV  *hypervisor.Hypervisor
 	Reg *obs.Registry
 	inj *fault.Injector
+
+	eng     *sim.Engine        // this host's shard engine
+	checker *invariant.Checker // host-local audits (hv + resident kernels)
+	spans   *span.Tracer       // shard-local collector for finished spans
+	outbox  hostOutbox
 
 	committed int // placed vCPUs (bookkeeping, audited)
 	sensitive int // resident sensitive VMs
@@ -241,6 +313,9 @@ func (h *Host) Name() string { return fmt.Sprintf("host%d", h.ID) }
 
 // Committed returns the number of vCPUs placed on the host.
 func (h *Host) Committed() int { return h.committed }
+
+// Engine returns the host's shard engine.
+func (h *Host) Engine() *sim.Engine { return h.eng }
 
 // Interference is the host's contention score: heavily weighted steal
 // and preempt-wait fractions plus the lock-holder-preemption rate.
@@ -273,14 +348,23 @@ type VMHandle struct {
 	kern *guest.Kernel
 	inst *workload.Instance
 
-	// Server-only routing state.
-	gate    *workload.RemoteGate
-	gates   []*workload.RemoteGate // every generation, for conservation audits
-	carried []workload.Request     // queued requests in transit during a switchover
-	routed  int64
+	// Server-only routing state. routed and servedSeen are control-
+	// plane counters (routed++ on dispatch, servedSeen++ as served
+	// records drain), so the router's load view is the outstanding
+	// estimate routed-servedSeen — the slightly stale view a real
+	// cluster front door has. delivered is the host-side count of
+	// requests that reached a replica gate.
+	gate       *workload.RemoteGate
+	gates      []*workload.RemoteGate // every generation, for conservation audits
+	carried    []workload.Request     // queued requests in transit during a switchover
+	routed     int64
+	servedSeen int64
+	delivered  int64
 
-	prevSteal float64 // cumulative VM steal at last signal refresh
-	stealFrac float64 // per-vCPU steal fraction over the last window
+	// Windowed steal signal (migration victim detection), refreshed by
+	// the monitor barrier task.
+	prevSteal float64
+	stealFrac float64
 }
 
 // Host returns the host the VM currently occupies (nil before
@@ -300,15 +384,17 @@ func (hd *VMHandle) instName() string {
 }
 
 // Cluster ties the rack, the placement policy, the router, and the
-// migration monitor together on one deterministic engine.
+// migration monitor together on one sharded deterministic engine.
 type Cluster struct {
-	cfg     Config
-	eng     *sim.Engine
-	hosts   []*Host
-	vms     []*VMHandle
-	servers []*VMHandle
-	checker *invariant.Checker
-	watcher *watch.Watcher
+	cfg       Config
+	sh        *sim.ShardedEngine
+	ctl       *sim.Engine // shard 0: the control plane (arrivals + routing)
+	lookahead sim.Time
+	hosts     []*Host
+	vms       []*VMHandle
+	servers   []*VMHandle
+	checker   *invariant.Checker // cluster-level invariants, audited at barriers
+	watcher   *watch.Watcher
 
 	arrivalRNG  *sim.RNG
 	blackoutRNG *sim.RNG
@@ -320,7 +406,17 @@ type Cluster struct {
 	migrations    int64
 	lastRefresh   sim.Time
 	blackouts     int64
+
+	// pendingViols defers cluster-level invariant violations to the
+	// next barrier drain: a violation may be recorded mid-window (a
+	// lookahead trip during routing), where the watcher — which reads
+	// every host — must not run.
+	pendingViols []invariant.Violation
 }
+
+// ctlShard is the control plane's shard index; host i runs on shard
+// i+1.
+const ctlShard = 0
 
 // New builds a cluster but does not run it.
 func New(cfg Config) (*Cluster, error) {
@@ -345,22 +441,42 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.AuditInterval <= 0 {
 		cfg.AuditInterval = 50 * sim.Millisecond
 	}
+	if cfg.Lookahead < 0 {
+		return nil, fmt.Errorf("cluster: negative lookahead %v", cfg.Lookahead)
+	}
+	if cfg.Lookahead == 0 {
+		cfg.Lookahead = DefaultLookahead
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: negative shard pool %d", cfg.Shards)
+	}
 	if len(cfg.VMs) == 0 {
 		return nil, fmt.Errorf("cluster: no VMs to place")
 	}
-	for i, s := range cfg.VMs {
+	for _, s := range cfg.VMs {
 		if s.Kind != KindServer && s.Kind != KindAntagonist {
 			return nil, fmt.Errorf("cluster: VM %q has no kind", s.Name)
 		}
 		if s.VCPUs <= 0 {
 			return nil, fmt.Errorf("cluster: VM %q has %d vCPUs", s.Name, s.VCPUs)
 		}
-		_ = i
 	}
+
+	sh := sim.NewSharded(cfg.Hosts+1, cfg.Lookahead)
+	workers := cfg.Shards
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > cfg.Hosts+1 {
+			workers = cfg.Hosts + 1
+		}
+	}
+	sh.SetWorkers(workers)
 
 	c := &Cluster{
 		cfg:         cfg,
-		eng:         sim.NewEngine(),
+		sh:          sh,
+		ctl:         sh.Shard(ctlShard),
+		lookahead:   cfg.Lookahead,
 		arrivalRNG:  sim.NewRNG(cfg.Seed ^ 0xc1a57e12),
 		blackoutRNG: sim.NewRNG(cfg.Seed ^ 0xb1ac0a7e),
 		stats:       &workload.ServerStats{Latency: &metrics.Reservoir{}},
@@ -368,7 +484,9 @@ func New(cfg Config) (*Cluster, error) {
 
 	if cfg.Watch != nil {
 		c.watcher = watch.New(*cfg.Watch)
-		c.watcher.Start(c.eng)
+		c.sh.EveryBarrier(c.watcher.Interval(), "watch-epoch", func() {
+			c.watcher.RunEpoch(c.sh.Now())
+		})
 	}
 
 	for i := 0; i < cfg.Hosts; i++ {
@@ -395,11 +513,16 @@ func New(cfg Config) (*Cluster, error) {
 			// events; a bounded ring keeps the cost flat.
 			hc.Trace = trace.NewLog(4096)
 		}
+		eng := sh.Shard(i + 1)
 		host := &Host{
 			ID:  i,
-			HV:  hypervisor.New(c.eng, hc),
+			HV:  hypervisor.New(eng, hc),
 			Reg: reg,
 			inj: inj,
+			eng: eng,
+		}
+		if cfg.Spans != nil {
+			host.spans = span.NewTracer()
 		}
 		c.hosts = append(c.hosts, host)
 		if c.watcher != nil {
@@ -408,17 +531,30 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	if cfg.Invariants {
+		// Cluster-level invariants audit at barriers (they read every
+		// shard); each host additionally runs its own checker over its
+		// hypervisor and resident kernels, on its own engine.
 		c.checker = invariant.New(cfg.AuditInterval)
-		for _, h := range c.hosts {
-			c.checker.Observe(h.HV)
-		}
 		c.checker.Observe(c)
-		c.checker.Attach(c.eng)
-		if c.watcher != nil {
-			// A tripped invariant dumps an incident bundle while the
-			// scheduling context is still in the recorder's rings.
-			c.checker.OnViolation = func(v invariant.Violation) {
-				c.watcher.RecordInvariant(v.At, v.Rule, v.Detail)
+		c.checker.OnViolation = func(v invariant.Violation) {
+			c.pendingViols = append(c.pendingViols, v)
+		}
+		c.ctl.OnViolation = func(name, detail string) {
+			c.checker.Record(c.ctl.Now(), name, detail)
+		}
+		c.sh.OnViolation = func(name, detail string) {
+			c.checker.Record(c.sh.Now(), name, detail)
+		}
+		c.sh.EveryBarrier(cfg.AuditInterval, "invariant-audit", func() {
+			c.checker.AuditAt(c.sh.Now())
+		})
+		for _, h := range c.hosts {
+			h := h
+			h.checker = invariant.New(cfg.AuditInterval)
+			h.checker.Observe(h.HV)
+			h.checker.Attach(h.eng)
+			h.checker.OnViolation = func(v invariant.Violation) {
+				h.outbox.viols = append(h.outbox.viols, v)
 			}
 		}
 	}
@@ -430,7 +566,12 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 
-	// VM arrivals, in a stable order at equal times.
+	// The barrier drain: every host's observations flow to the control
+	// plane before any barrier task at the same instant runs.
+	c.sh.OnBarrier(c.drain)
+
+	// VM arrivals, in a stable order at equal times. Admission reads
+	// and mutates the whole rack (placement), so it is a barrier task.
 	handles := make([]*VMHandle, len(cfg.VMs))
 	for i, spec := range cfg.VMs {
 		if spec.Weight <= 0 {
@@ -448,27 +589,102 @@ func New(cfg Config) (*Cluster, error) {
 		if hd.Spec.Kind == KindServer {
 			c.servers = append(c.servers, hd)
 		}
-		c.eng.At(hd.Spec.ArriveAt, "vm-arrive-"+hd.Spec.Name, func() { c.admit(hd) })
+		c.sh.AtBarrier(hd.Spec.ArriveAt, "vm-arrive-"+hd.Spec.Name, func() { c.admit(hd) })
 	}
 
-	// Cluster-wide request stream (open loop, exponential).
+	// Cluster-wide request stream (open loop, exponential) on the
+	// control shard.
 	if cfg.Arrival > 0 && cfg.Duration > 0 {
-		c.eng.After(c.arrivalRNG.Exp(cfg.Arrival), "cluster-arrival", c.nextArrival)
+		c.ctl.After(c.arrivalRNG.Exp(cfg.Arrival), "cluster-arrival", c.nextArrival)
 	}
 
-	// Interference monitor (signal refresh + migration trigger).
-	c.eng.Every(cfg.MonitorInterval, "cluster-monitor", c.monitor)
+	// Interference monitor (signal refresh + migration trigger): reads
+	// every host's registry, so it runs at barriers.
+	c.sh.EveryBarrier(cfg.MonitorInterval, "cluster-monitor", c.monitor)
 
 	// Cluster-level host blackouts.
 	if cfg.HostBlackoutEvery > 0 && cfg.HostBlackoutFor > 0 {
-		c.eng.Every(cfg.HostBlackoutEvery, "cluster-blackout", c.hostBlackout)
+		c.sh.EveryBarrier(cfg.HostBlackoutEvery, "cluster-blackout", c.hostBlackout)
 	}
 
 	return c, nil
 }
 
-// Engine exposes the simulation engine (for tests).
-func (c *Cluster) Engine() *sim.Engine { return c.eng }
+// drain runs at every barrier, before due barrier tasks: it folds each
+// host's outbox into the control plane in host order — served requests
+// into the latency reservoir, SLO signal, and router bookkeeping;
+// occupancy intervals and invariant trips into the watchdog; finished
+// spans into the minting tracer. Host order then host-local completion
+// order is the canonical merge key, so the result is independent of
+// the worker pool.
+func (c *Cluster) drain(now sim.Time) {
+	for _, h := range c.hosts {
+		ob := &h.outbox
+		for _, hd := range ob.delivered {
+			hd.delivered++
+		}
+		ob.delivered = ob.delivered[:0]
+		for _, b := range ob.bounced {
+			b.hd.delivered++
+			if b.hd.gate != nil && !b.hd.gate.Closed() {
+				// The VM already restarted elsewhere; hand the request
+				// straight to the live generation.
+				b.hd.host.spans.Adopt(b.req.Span)
+				b.hd.gate.SubmitReq(b.req)
+			} else {
+				b.hd.carried = append(b.hd.carried, b.req)
+			}
+		}
+		ob.bounced = ob.bounced[:0]
+		for _, r := range ob.served {
+			r.hd.servedSeen++
+			c.stats.Requests++
+			c.stats.Latency.Add(r.lat)
+			violated := c.cfg.SLO > 0 && r.lat > c.cfg.SLO
+			if violated {
+				c.sloViolations++
+			}
+			c.watcher.ObserveRequest(r.at, violated)
+		}
+		ob.served = ob.served[:0]
+		for _, v := range ob.viols {
+			c.watcher.RecordInvariant(v.At, v.Rule, v.Detail)
+		}
+		ob.viols = ob.viols[:0]
+		if c.cfg.Spans != nil {
+			c.cfg.Spans.AbsorbFinished(h.spans.TakeFinished())
+		}
+	}
+	c.drainOccupancy()
+	if len(c.pendingViols) > 0 {
+		for _, v := range c.pendingViols {
+			c.watcher.RecordInvariant(v.At, v.Rule, v.Detail)
+		}
+		c.pendingViols = c.pendingViols[:0]
+	}
+}
+
+// drainOccupancy flushes the hosts' occupancy intervals into the
+// watchdog store. Split out of drain because the watch feed re-syncs
+// occupancy accounting mid-barrier and must flush again before
+// attribution runs (see feedWatcher).
+func (c *Cluster) drainOccupancy() {
+	if c.watcher == nil {
+		return
+	}
+	for _, h := range c.hosts {
+		for _, r := range h.outbox.occ {
+			c.watcher.AddOccupancy(r.at, h.Name(), r.vm, r.pcpu, r.dur)
+		}
+		h.outbox.occ = h.outbox.occ[:0]
+	}
+}
+
+// Sharded exposes the coordinator (tests, benchmarks).
+func (c *Cluster) Sharded() *sim.ShardedEngine { return c.sh }
+
+// Engine exposes the control shard's engine (for tests).
+func (c *Cluster) Engine() *sim.Engine { return c.ctl }
 
 // Watcher returns the online SLO watchdog, or nil when Config.Watch
 // was not set.
@@ -486,6 +702,8 @@ func (c *Cluster) capacity() int {
 }
 
 // admit places hd on a host chosen by the policy and boots it there.
+// Runs at a barrier: placement reads every host's signal and the boot
+// mutates the chosen host's stack.
 func (c *Cluster) admit(hd *VMHandle) {
 	host := c.place(hd)
 	host.committed += hd.Spec.VCPUs
@@ -494,7 +712,7 @@ func (c *Cluster) admit(hd *VMHandle) {
 	}
 	hd.host = host
 	hd.admitted = true
-	hd.lastMove = c.eng.Now() // starts the migration residency clock
+	hd.lastMove = c.sh.Now() // starts the migration residency clock
 	c.registerWatchVM(hd)
 	c.boot(hd, host, nil)
 	if hd.Spec.Kind == KindServer {
@@ -503,7 +721,7 @@ func (c *Cluster) admit(hd *VMHandle) {
 }
 
 // boot creates hd's next instance on host. A non-nil snapshot seeds the
-// new VM's scheduler state (migration restore path).
+// new VM's scheduler state (migration restore path). Barrier context.
 func (c *Cluster) boot(hd *VMHandle, host *Host, snap *hypervisor.VMSnapshot) {
 	cfg := c.cfg
 	saCapable := cfg.Strategy == hypervisor.StrategyIRS && cfg.IRS
@@ -531,15 +749,12 @@ func (c *Cluster) boot(hd *VMHandle, host *Host, snap *hypervisor.VMSnapshot) {
 			Threads: hd.Spec.Threads,
 			Service: cfg.Service,
 		}
-		inst, gate := workload.NewRemoteServer(kern, spec, gc.Seed^0x5e12e, c.stats)
+		// Each instance gets private stats (ignored); the cluster-level
+		// reservoir is fed from the served records at barrier drains so
+		// its insertion order cannot depend on the worker pool.
+		inst, gate := workload.NewRemoteServer(kern, spec, gc.Seed^0x5e12e, nil)
 		gate.OnServed = func(lat sim.Time) {
-			violated := cfg.SLO > 0 && lat > cfg.SLO
-			if violated {
-				c.sloViolations++
-			}
-			if c.watcher != nil {
-				c.watcher.ObserveRequest(c.eng.Now(), violated)
-			}
+			host.outbox.served = append(host.outbox.served, servedRec{at: kern.Now(), lat: lat, hd: hd})
 		}
 		hd.inst = inst
 		hd.gate = gate
@@ -552,18 +767,18 @@ func (c *Cluster) boot(hd *VMHandle, host *Host, snap *hypervisor.VMSnapshot) {
 	hd.vm = vm
 	hd.kern = kern
 	kern.Start()
-	if c.checker != nil {
-		c.checker.Observe(kern)
+	if host.checker != nil {
+		host.checker.Observe(kern)
 	}
 }
 
 // Run drives the simulation to Duration+Drain and collects the result.
 func (c *Cluster) Run() (*Result, error) {
-	if err := c.eng.Run(c.cfg.Duration + c.cfg.Drain); err != nil {
+	if err := c.sh.Run(c.cfg.Duration + c.cfg.Drain); err != nil {
 		return nil, err
 	}
 	if c.checker != nil {
-		c.checker.Audit()
+		c.checker.AuditAt(c.sh.Now())
 	}
 	return c.result(), nil
 }
@@ -586,6 +801,7 @@ type Result struct {
 	Blackouts                   int64
 	FaultsInjected              int64
 	Violations                  int64
+	Events                      uint64 // engine events dispatched, all shards
 	Hosts                       []HostLoad
 }
 
@@ -601,6 +817,7 @@ func (c *Cluster) result() *Result {
 		SLOViolations: c.sloViolations,
 		Migrations:    c.migrations,
 		Blackouts:     c.blackouts,
+		Events:        c.sh.Fired(),
 	}
 	if res.Served > 0 {
 		res.SLORate = float64(c.sloViolations) / float64(res.Served)
@@ -614,17 +831,24 @@ func (c *Cluster) result() *Result {
 	if c.checker != nil {
 		res.Violations = c.checker.Count()
 	}
+	for _, h := range c.hosts {
+		if h.checker != nil {
+			res.Violations += h.checker.Count()
+		}
+	}
 	return res
 }
 
-// Stats exposes the shared server statistics (latency reservoir).
+// Stats exposes the cluster-level server statistics (latency
+// reservoir), fed at barrier drains.
 func (c *Cluster) Stats() *workload.ServerStats { return c.stats }
 
 // AuditInvariants implements invariant.Source: no logical VM may be
 // lost or double-placed across migrations, committed-vCPU bookkeeping
 // must match placements, and every generated request must be accounted
-// for (served, queued, in service, carried by a migration, or held by
-// the router).
+// for (served, queued, in service, carried by a migration, in transit
+// to a host, or held by the router). Runs at barriers, where every
+// shard is parked.
 func (c *Cluster) AuditInvariants(report func(rule, detail string)) {
 	perHost := make([]int, len(c.hosts))
 	for _, hd := range c.vms {
@@ -665,10 +889,14 @@ func (c *Cluster) AuditInvariants(report func(rule, detail string)) {
 			queued = int64(hd.gate.QueueLen())
 		}
 		total := served + inflight + queued + int64(len(hd.carried))
-		if total != hd.routed {
+		if total != hd.delivered {
 			report("cluster-request-conservation", fmt.Sprintf(
-				"%s routed %d != served %d + in-flight %d + queued %d + carried %d",
-				hd.Spec.Name, hd.routed, served, inflight, queued, len(hd.carried)))
+				"%s delivered %d != served %d + in-flight %d + queued %d + carried %d",
+				hd.Spec.Name, hd.delivered, served, inflight, queued, len(hd.carried)))
+		}
+		if hd.delivered > hd.routed {
+			report("cluster-request-conservation", fmt.Sprintf(
+				"%s delivered %d > routed %d", hd.Spec.Name, hd.delivered, hd.routed))
 		}
 		routed += hd.routed
 	}

@@ -13,9 +13,14 @@ import (
 // instance boots on the destination seeded with the snapshot. Carried
 // requests keep their original arrival stamps, so the downtime is paid
 // in their measured latency — migrations are never free.
+//
+// Every step here reads or mutates more than one host (the signal
+// sweep, the destination scorer, the cross-host reboot), so the whole
+// state machine runs as coordinator barrier tasks with all shards
+// parked.
 
 // monitor refreshes the interference signal and, when enabled,
-// considers one migration per tick.
+// considers one migration per tick. Barrier task.
 func (c *Cluster) monitor() {
 	c.refreshSignals()
 	if c.cfg.Migration {
@@ -34,7 +39,7 @@ func (c *Cluster) maybeMigrate() {
 			return
 		}
 	}
-	now := c.eng.Now()
+	now := c.sh.Now()
 
 	open := 0
 	for _, hd := range c.servers {
@@ -97,17 +102,23 @@ func (c *Cluster) maybeMigrate() {
 	c.startMigration(victim, cool)
 }
 
-// startMigration runs the pre-copy phase, then the switchover.
+// startMigration runs the pre-copy phase, then the switchover. The copy
+// runs for at least one transit latency so every request routed before
+// the cordon has landed (or bounced) by the time the gate seals.
 func (c *Cluster) startMigration(hd *VMHandle, dest *Host) {
 	hd.migrating = true // cordons the VM: router stops feeding it
-	hd.lastMove = c.eng.Now()
+	now := c.sh.Now()
+	hd.lastMove = now
 	copyTime := c.cfg.CopyPerVCPU * sim.Time(hd.Spec.VCPUs)
-	c.eng.After(copyTime, "migrate-copy-"+hd.Spec.Name, func() {
+	if copyTime < c.lookahead {
+		copyTime = c.lookahead
+	}
+	c.sh.AtBarrier(now+copyTime, "migrate-copy-"+hd.Spec.Name, func() {
 		// Switchover: freeze scheduler state, seal the gate, carry the
 		// requests no worker has started.
 		snap := hd.host.HV.SnapshotVM(hd.vm)
-		hd.carried = hd.gate.Close()
-		c.eng.After(c.cfg.MigrationPause, "migrate-switch-"+hd.Spec.Name, func() {
+		hd.carried = append(hd.carried, hd.gate.Close()...)
+		c.sh.AtBarrier(c.sh.Now()+c.cfg.MigrationPause, "migrate-switch-"+hd.Spec.Name, func() {
 			c.completeMigration(hd, dest, snap)
 		})
 	})
@@ -128,12 +139,15 @@ func (c *Cluster) completeMigration(hd *VMHandle, dest *Host, snap hypervisor.VM
 	}
 	hd.gen++
 	hd.host = dest
-	hd.prevSteal = 0 // successor VM's steal clock restarts on dest
+	hd.prevSteal = 0      // successor VM's steal clock restarts on dest
 	c.registerWatchVM(hd) // attribution follows the VM to its new host
 	c.boot(hd, dest, &snap)
 	carried := hd.carried
 	hd.carried = nil
 	for _, req := range carried {
+		// The span followed the request to the source host's collector;
+		// its Finish will now happen on the destination shard.
+		dest.spans.Adopt(req.Span)
 		hd.gate.SubmitReq(req)
 	}
 	hd.migrating = false
@@ -143,7 +157,7 @@ func (c *Cluster) completeMigration(hd *VMHandle, dest *Host, snap hypervisor.VM
 
 // hostBlackout pauses every vCPU of one randomly chosen host for
 // HostBlackoutFor — the rack-level fault model. Migrations and the
-// invariant audits must ride it out.
+// invariant audits must ride it out. Barrier task.
 func (c *Cluster) hostBlackout() {
 	h := c.hosts[c.blackoutRNG.Intn(len(c.hosts))]
 	c.blackouts++

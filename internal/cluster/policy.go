@@ -72,7 +72,7 @@ func (c *Cluster) place(hd *VMHandle) *Host {
 			s := c.placementScore(h, hd, cap)
 			if debugPlace {
 				fmt.Printf("  t=%v place %s: %s score=%.3f (busy=%.3f steal=%.3f wait=%.3f lhp=%.1f sens=%d committed=%d)\n",
-					c.eng.Now(), hd.Spec.Name, h.Name(), s, h.busyFrac, h.stealFrac, h.waitFrac, h.lhpRate, h.sensitive, h.committed)
+					c.sh.Now(), hd.Spec.Name, h.Name(), s, h.busyFrac, h.stealFrac, h.waitFrac, h.lhpRate, h.sensitive, h.committed)
 			}
 			if best == nil || s < bestScore {
 				best, bestScore = h, s

@@ -1,20 +1,26 @@
 package cluster
 
-import "repro/internal/workload"
+import (
+	"repro/internal/span"
+	"repro/internal/workload"
+)
 
 // The router is the cluster's front door: an open-loop Poisson stream
-// of requests, each dispatched to the live server replica with the
-// least outstanding work (queued + in service), ties to the earliest
-// admitted replica. A replica under migration is cordoned so its queue
-// drains before the switchover; when no replica is available at all
-// (early arrivals, every server mid-blackout switchover) the request is
-// held back and flushed as soon as a gate opens, original timestamp
-// intact, so its wait shows up in the measured latency.
+// of requests on the control shard, each dispatched to the live server
+// replica with the least outstanding work and posted to that replica's
+// host shard with the transit latency (= the lookahead), so routing
+// never reads another shard mid-window. The load view is routed minus
+// served-as-seen-at-the-last-barrier — the slightly stale picture a
+// real front door has. A replica under migration is cordoned so its
+// queue drains before the switchover; when no replica is available at
+// all (early arrivals, every server mid-switchover) the request is held
+// back and flushed as soon as a gate opens, original timestamp intact,
+// so its wait shows up in the measured latency.
 
 // nextArrival generates one cluster request and re-arms itself until
-// the stream duration elapses.
+// the stream duration elapses. Runs on the control shard.
 func (c *Cluster) nextArrival() {
-	now := c.eng.Now()
+	now := c.ctl.Now()
 	if now >= c.cfg.Duration {
 		return
 	}
@@ -22,18 +28,21 @@ func (c *Cluster) nextArrival() {
 	// Admission is where the causal span is born: everything that happens
 	// to the request from here on is somebody's fault.
 	c.route(workload.Request{Arrival: now, Span: c.cfg.Spans.Start(now)})
-	c.eng.After(c.arrivalRNG.Exp(c.cfg.Arrival), "cluster-arrival", c.nextArrival)
+	c.ctl.After(c.arrivalRNG.Exp(c.cfg.Arrival), "cluster-arrival", c.nextArrival)
 }
 
-// route dispatches one request stamped with its arrival time.
+// route dispatches one request stamped with its arrival time: pick the
+// replica with the fewest outstanding requests (ties to the earliest
+// admitted), then post the delivery to its host's shard one transit
+// latency out.
 func (c *Cluster) route(req workload.Request) {
 	var best *VMHandle
-	bestLoad := 0
+	var bestLoad int64
 	for _, hd := range c.servers {
-		if !hd.admitted || hd.migrating || hd.gate == nil || hd.gate.Closed() {
+		if !hd.admitted || hd.migrating {
 			continue
 		}
-		load := hd.gate.QueueLen() + int(hd.gate.InFlight())
+		load := hd.routed - hd.servedSeen
 		if best == nil || load < bestLoad {
 			best, bestLoad = hd, load
 		}
@@ -42,12 +51,32 @@ func (c *Cluster) route(req workload.Request) {
 		c.buffered = append(c.buffered, req)
 		return
 	}
-	best.gate.SubmitReq(req)
 	best.routed++
+	host := best.host
+	gate := best.gate
+	hd := best
+	c.sh.Post(ctlShard, host.ID+1, c.lookahead, "deliver-"+hd.Spec.Name, func() {
+		c.deliverReq(hd, host, gate, req)
+	})
+}
+
+// deliverReq lands one routed request on its host shard. The gate is
+// the one that was live at routing time; if a migration sealed it while
+// the request was in transit, the request bounces through the outbox
+// and the next barrier re-routes it to the successor instance (or into
+// the migration's carried set). Runs on host's shard.
+func (c *Cluster) deliverReq(hd *VMHandle, host *Host, gate *workload.RemoteGate, req workload.Request) {
+	host.spans.Adopt(req.Span)
+	if gate.SubmitReq(req) {
+		host.outbox.delivered = append(host.outbox.delivered, hd)
+		return
+	}
+	req.Span.Transition(host.eng.Now(), span.CatVMMigr)
+	host.outbox.bounced = append(host.outbox.bounced, bounceRec{hd: hd, req: req})
 }
 
 // flushBuffered re-routes requests held back while no replica was
-// available.
+// available. Barrier context (admission, migration completion).
 func (c *Cluster) flushBuffered() {
 	if len(c.buffered) == 0 {
 		return

@@ -54,9 +54,10 @@ func vmCumulativeRunstates(reg *obs.Registry, vmName string, vcpus []*hypervisor
 
 // refreshSignals recomputes every host's windowed interference
 // fractions and every server VM's steal delta since the last refresh.
-// A zero-length window keeps the previous values.
+// A zero-length window keeps the previous values. Barrier context: it
+// reads (and syncs) every host's registry.
 func (c *Cluster) refreshSignals() {
-	now := c.eng.Now()
+	now := c.sh.Now()
 	window := float64(now - c.lastRefresh)
 	if window <= 0 {
 		return

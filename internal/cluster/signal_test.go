@@ -23,7 +23,7 @@ func signalRig(t *testing.T) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.eng.Run(sim.Second); err != nil {
+	if err := c.sh.Run(sim.Second); err != nil {
 		t.Fatal(err)
 	}
 	return c
@@ -81,7 +81,7 @@ func TestRefreshSignalsCounterResetClamps(t *testing.T) {
 	// must clamp to zero, not go negative.
 	hd := c.servers[0]
 	hd.prevSteal = 1e18
-	if err := c.eng.Run(c.eng.Now() + 100*sim.Millisecond); err != nil {
+	if err := c.sh.Run(c.sh.Now() + 100*sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	c.refreshSignals()
@@ -89,7 +89,7 @@ func TestRefreshSignalsCounterResetClamps(t *testing.T) {
 		t.Fatalf("stealFrac after counter reset = %v, want clamp to 0", hd.stealFrac)
 	}
 	// The next window recovers normal readings.
-	if err := c.eng.Run(c.eng.Now() + 500*sim.Millisecond); err != nil {
+	if err := c.sh.Run(c.sh.Now() + 500*sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	c.refreshSignals()

@@ -12,9 +12,11 @@ import (
 
 // This file adapts the cluster's per-host telemetry into the online
 // watchdog (internal/watch): pCPU occupancy intervals stream in from
-// each hypervisor's deschedule choke point, per-VM pain counters are
-// pushed once per watch epoch, and each host's bounded event log feeds
-// the flight recorder. All of it is dormant when Config.Watch is nil.
+// each hypervisor's deschedule choke point into the host's outbox
+// (drained at barriers — the watcher is control-plane state and must
+// never be touched mid-window), per-VM pain counters are pushed once
+// per watch epoch, and each host's bounded event log feeds the flight
+// recorder. All of it is dormant when Config.Watch is nil.
 
 // logicalVMName strips the migration-generation suffix ("srv0#2" ->
 // "srv0") so watch signals stay continuous across live migrations.
@@ -25,14 +27,19 @@ func logicalVMName(inst string) string {
 
 // wireWatchHost connects one host's hypervisor to the watcher: the
 // occupancy observer for attribution and the event log for incident
-// bundles.
+// bundles. The observer fires during the host's window execution, so
+// it only appends to the host-local outbox.
 func (c *Cluster) wireWatchHost(host *Host, tl *trace.Log) {
-	hostName := host.Name()
 	host.HV.SetOccupancyObserver(func(vm *hypervisor.VM, p *hypervisor.PCPU, dur sim.Time) {
-		c.watcher.AddOccupancy(c.eng.Now(), hostName, logicalVMName(vm.Name), p.Name(), dur)
+		host.outbox.occ = append(host.outbox.occ, occRec{
+			at:   host.eng.Now(),
+			vm:   logicalVMName(vm.Name),
+			pcpu: p.Name(),
+			dur:  dur,
+		})
 	})
 	if tl != nil {
-		c.watcher.Recorder().AddHostLog(hostName, tl)
+		c.watcher.Recorder().AddHostLog(host.Name(), tl)
 	}
 }
 
@@ -50,16 +57,22 @@ func (c *Cluster) registerWatchVM(hd *VMHandle) {
 	})
 }
 
-// feedWatcher runs at the top of every watch epoch: it flushes the
-// accruing runstate and occupancy intervals on every host, then pushes
-// each admitted VM's cumulative pain (preempt-wait + steal) so the
-// watcher can window it. Migration restarts an instance's counters;
-// the watcher's delta clamp absorbs the reset.
+// feedWatcher runs at the top of every watch epoch (a barrier task, all
+// shards parked): it flushes the accruing runstate and occupancy
+// intervals on every host, drains the freshly produced occupancy
+// records into the store, then pushes each admitted VM's cumulative
+// pain (preempt-wait + steal) so the watcher can window it. Migration
+// restarts an instance's counters; the watcher's delta clamp absorbs
+// the reset.
 func (c *Cluster) feedWatcher(now sim.Time) {
 	for _, h := range c.hosts {
 		h.HV.SyncRunstateAccounting()
 		h.HV.SyncOccupancyAccounting()
 	}
+	// The syncs above emitted occupancy intervals into the host
+	// outboxes after this barrier's drain already ran; flush them so
+	// attribution sees the full window.
+	c.drainOccupancy()
 	for _, hd := range c.vms {
 		if !hd.admitted || hd.vm == nil {
 			continue

@@ -31,6 +31,18 @@ type Options struct {
 	// from the goroutine that invoked the experiment, never from
 	// workers.
 	Logf func(format string, args ...any)
+	// Shards selects the per-host engine pool inside each
+	// cluster-backed simulation (cluster, watch): 0 picks the
+	// cluster package's auto width, 1 forces the serial coordinator,
+	// N>1 runs N shard workers. Tables are byte-identical at any
+	// setting — the conservative-window coordinator guarantees it —
+	// so this knob only trades wall time.
+	Shards int
+	// Lookahead overrides the conservative window width (and router
+	// transit latency) of cluster-backed simulations. 0 keeps
+	// cluster.DefaultLookahead. Unlike Shards, changing it changes
+	// event timing and therefore the numbers.
+	Lookahead sim.Time
 }
 
 func (o Options) withDefaults() Options {

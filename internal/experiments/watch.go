@@ -81,7 +81,7 @@ func WatchConfig(v WatchVariant, seed uint64, duration sim.Time, rules []watch.R
 	cfg.Drain = 2 * sim.Second
 	cfg.Arrival = 1 * sim.Millisecond
 	cfg.Service = 1500 * sim.Microsecond
-	cfg.SLO = 20 * sim.Millisecond
+	cfg.SLO = 30 * sim.Millisecond
 	cfg.VMs = []cluster.VMSpec{
 		{Name: "srv0", Kind: cluster.KindServer, VCPUs: 2, Sensitive: true, Pressure: 0.8},
 		{Name: "ant-far", Kind: cluster.KindAntagonist, VCPUs: 3, ArriveAt: 100 * sim.Millisecond, Pressure: 3},
@@ -136,11 +136,11 @@ func watchTable(h *harness) Table {
 		Columns: []string{"variant", "served", "slo-viol", "alerts", "detect",
 			"victim", "top aggressor", "score", "runner-up", "ratio", "incidents"},
 	}
-	seed := h.opt.Seed
+	seed, shards, la := h.opt.Seed, h.opt.Shards, h.opt.Lookahead
 	for _, v := range WatchVariants() {
 		v := v
 		out := jobAs(h, "watch|"+v.Name, func() watchRowOut {
-			return watchCell(v, seed)
+			return watchCell(v, seed, shards, la)
 		})
 		if out.errStr != "" {
 			h.opt.Logf("watch: %s: %s", v.Name, out.errStr)
@@ -155,8 +155,13 @@ func watchTable(h *harness) Table {
 
 // watchCell executes one variant and renders its row. Pure function of
 // its arguments; safe on worker goroutines.
-func watchCell(v WatchVariant, seed uint64) watchRowOut {
-	c, err := NewWatchCluster(v, seed)
+func watchCell(v WatchVariant, seed uint64, shards int, lookahead sim.Time) watchRowOut {
+	cfg := WatchConfig(v, seed, DefaultWatchDuration, DefaultWatchRuleSet(), DefaultWatchInterval)
+	cfg.Shards = shards
+	if lookahead > 0 {
+		cfg.Lookahead = lookahead
+	}
+	c, err := cluster.New(cfg)
 	if err != nil {
 		return watchRowOut{errStr: err.Error()}
 	}

@@ -84,16 +84,31 @@ func (c *Checker) Attach(eng *sim.Engine) {
 
 // Audit runs one audit pass over every source immediately.
 func (c *Checker) Audit() {
-	c.audits++
 	now := sim.Time(0)
 	if c.eng != nil {
 		now = c.eng.Now()
 	}
+	c.AuditAt(now)
+}
+
+// AuditAt runs one audit pass stamped with the given virtual time. An
+// unattached checker driven by an external clock (the sharded cluster
+// audits at coordinator barriers, where no single engine is "the"
+// clock) uses this instead of Attach.
+func (c *Checker) AuditAt(now sim.Time) {
+	c.audits++
 	for _, s := range c.sources {
 		s.AuditInvariants(func(rule, detail string) {
 			c.record(now, rule, detail)
 		})
 	}
+}
+
+// Record reports one externally detected violation, e.g. a sharded
+// coordinator's lookahead violation or an engine contract trip bridged
+// from a shard without its own checker.
+func (c *Checker) Record(at sim.Time, rule, detail string) {
+	c.record(at, rule, detail)
 }
 
 func (c *Checker) record(at sim.Time, rule, detail string) {

@@ -201,6 +201,21 @@ func (e *Engine) Run(horizon Time) error {
 	return nil
 }
 
+// RunWindow dispatches every event at or before end and advances the
+// clock to exactly end. Unlike Run, an empty queue is not a deadlock:
+// a sharded host engine may simply be idle for a window (the sharded
+// coordinator decides when the whole simulation has gone quiet).
+func (e *Engine) RunWindow(end Time) {
+	for {
+		next := e.queue.min()
+		if next == nil || next.at > end {
+			break
+		}
+		e.Step()
+	}
+	e.now = end
+}
+
 // RunUntilQuiet dispatches events until the queue drains or until the
 // hard cap is hit, whichever comes first; hitting the cap returns
 // ErrHorizonCap (wrapped with the times involved). Workload-completion

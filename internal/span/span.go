@@ -308,3 +308,46 @@ func (tr *Tracer) Open() int {
 	}
 	return tr.open
 }
+
+// Adopt re-points s at tr, so a later Finish lands in tr's collection.
+// The sharded cluster uses per-host collector tracers: a span minted on
+// the control shard is adopted by the host it is routed to (and by the
+// destination host when a migration carries it), keeping all mutation
+// shard-local; the barrier then folds finished spans back into the
+// minting tracer with AbsorbFinished. Adopt does not move open counts —
+// the minting tracer keeps the liability until AbsorbFinished settles
+// it.
+func (tr *Tracer) Adopt(s *Span) {
+	if tr == nil || s == nil {
+		return
+	}
+	s.tracer = tr
+}
+
+// TakeFinished returns the collected spans and resets the collection
+// (the open count is untouched; collectors never mint).
+func (tr *Tracer) TakeFinished() []*Span {
+	if tr == nil || len(tr.finished) == 0 {
+		return nil
+	}
+	out := tr.finished
+	tr.finished = nil
+	return out
+}
+
+// AbsorbFinished folds spans finished on a collector tracer back into
+// tr, in the given order: each is appended to tr's finished list,
+// settles one open span, observes OnFinish, and is re-pointed at tr.
+func (tr *Tracer) AbsorbFinished(spans []*Span) {
+	if tr == nil {
+		return
+	}
+	for _, s := range spans {
+		s.tracer = tr
+		tr.open--
+		tr.finished = append(tr.finished, s)
+		if tr.OnFinish != nil {
+			tr.OnFinish(s)
+		}
+	}
+}

@@ -240,16 +240,29 @@ func (w *Watcher) maxSlow() sim.Time {
 	return max
 }
 
-// epoch is the watcher's heartbeat: sync feeds, evaluate rules, and on
-// a rising alert run attribution and capture an incident bundle.
-func (w *Watcher) epoch() {
-	now := w.eng.Now()
+// epoch is the engine-attached heartbeat (Start).
+func (w *Watcher) epoch() { w.RunEpoch(w.eng.Now()) }
+
+// RunEpoch runs one watchdog epoch at the given virtual time: sync
+// feeds, evaluate rules, and on a rising alert run attribution and
+// capture an incident bundle. The sharded cluster drives this from a
+// coordinator barrier task instead of Start, so the watcher reads
+// every host with all shards parked at now. A nil *Watcher is a no-op.
+func (w *Watcher) RunEpoch(now sim.Time) {
+	if w == nil {
+		return
+	}
 	for _, f := range w.feeds {
 		f(now)
 	}
 	for _, a := range w.monitor.Evaluate(now) {
 		a := a
-		ranked, triples := w.AttributeAt(now, a.Rule.Slow)
+		// Rank aggressors over the fast window — the interval whose burn
+		// actually tripped the rule. The slow window (used below for the
+		// flight-recorder context) reaches back far enough that a steady
+		// background tenant's occupancy would dilute a freshly-landed
+		// bully out of the top slot.
+		ranked, triples := w.AttributeAt(now, a.Rule.Fast)
 		if inc := w.recorder.Capture(now, "slo-alert", a.String(), w.store, now-a.Rule.Slow); inc != nil {
 			inc.Alert = &a
 			inc.Rankings = ranked
