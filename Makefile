@@ -5,13 +5,13 @@
 GO ?= go
 
 # Committed benchmark baseline for the regression gate (see
-# cmd/benchjson and DESIGN.md §9). BENCH_4 adds the cluster
-# events/sec throughput rows (DESIGN.md §14).
-BENCH_SNAPSHOT ?= BENCH_4.json
+# cmd/benchjson and DESIGN.md §9). BENCH_5 captures the empty-window
+# wake/park skip in the sharded coordinator (DESIGN.md §15).
+BENCH_SNAPSHOT ?= BENCH_5.json
 
-.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch attack scale
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch attack scale scale-sweep
 
-check: build vet race examples blame watch attack scale
+check: build vet race examples blame watch attack scale scale-sweep
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzParsePlan -fuzztime 5s
 	$(GO) test ./internal/watch -run '^$$' -fuzz FuzzParseRule -fuzztime 5s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzParseAttack -fuzztime 5s
+	$(GO) test ./internal/topology -run '^$$' -fuzz FuzzParseLoadSpec -fuzztime 5s
 
 # Adversarial-tenant smoke run: the tick-evader vs every accounting
 # defense; the gate fails unless jittered ticks + exact accounting
@@ -85,6 +86,13 @@ chaos:
 scale:
 	$(GO) test -race ./internal/sim ./internal/cluster
 	$(GO) test ./internal/experiments -run TestShardedMatchesSerial
+
+# Multi-rack control-plane smoke run: the 2-zone × 8-host acceptance
+# rig with a zone outage mid-ramp. The gate fails unless the router
+# fails over, every request is conserved, the invariants stay clean,
+# and the post-recovery SLO-violation rate is below 1%.
+scale-sweep:
+	$(GO) run ./cmd/irsload -variant 2z8h-outage -expect 1.0
 
 # Compile and run every example end to end (each also has a unit test
 # exercising its run() body, picked up by `make test`).

@@ -11,7 +11,7 @@
 //	irsweep -bench streamcluster -inter 0,1,2,4 [-mode spin|block] [-vcpus 4]
 //	        [-unpinned] [-seed S] [-runs N] [-parallel] [-workers N]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	irsweep -cluster [-hosts 2,3,4] [-shards N] [-lookahead 250us] [-seed S] [-parallel] [-workers N]
+//	irsweep -cluster [-hosts 2,3,4] [-zones 1] [-shards N] [-lookahead 250us] [-seed S] [-parallel] [-workers N]
 //	irsweep -attack "tick-evade;boost-game,run=2ms" [-seed S] [-parallel] [-workers N]
 //	irsweep -list
 package main
@@ -31,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -50,7 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 3, "runs per data point")
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	clusterSweep := fs.Bool("cluster", false, "sweep the multi-host placement variants across rack sizes")
-	hostsList := fs.String("hosts", "2,3,4", "comma-separated host counts for -cluster")
+	hostsList := fs.String("hosts", "2,3,4", "comma-separated host counts for -cluster (per zone when -zones > 1)")
+	zones := fs.Int("zones", 1, "zone count for -cluster: >1 runs each rack size under the two-level zone scheduler")
 	shards := fs.Int("shards", 0, "per-host engine shards inside each -cluster cell (0 = auto, 1 = serial; output is identical at any setting)")
 	lookahead := fs.Duration("lookahead", 0, "conservative window width for sharded -cluster cells (0 = default 250µs; changing it changes results)")
 	attackList := fs.String("attack", "", "semicolon-separated attacker specs to sweep against every accounting defense")
@@ -112,7 +114,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "irsweep: bad -hosts %q\n", *hostsList)
 			return 2
 		}
-		return clusterMatrix(stdout, stderr, hosts, *seed, nWorkers, *shards, sim.Duration(*lookahead))
+		if *zones < 1 {
+			fmt.Fprintf(stderr, "irsweep: bad -zones %d\n", *zones)
+			return 2
+		}
+		return clusterMatrix(stdout, stderr, hosts, *zones, *seed, nWorkers, *shards, sim.Duration(*lookahead))
 	}
 
 	if *attackList != "" {
@@ -213,8 +219,10 @@ func parseIntList(s string) ([]int, bool) {
 
 // clusterMatrix sweeps the experiment's placement variants over rack
 // sizes: one row per host count, one column pair (p99, SLO-violation
-// rate) per variant.
-func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers, shards int, lookahead sim.Time) int {
+// rate) per variant. With zones > 1 each rack size is per zone and
+// every cell runs under the two-level zone scheduler and partitioned
+// router.
+func clusterMatrix(stdout, stderr io.Writer, hosts []int, zones int, seed uint64, nWorkers, shards int, lookahead sim.Time) int {
 	variants := experiments.ClusterVariants()
 	type cell struct {
 		p99  sim.Time
@@ -229,7 +237,10 @@ func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers,
 			hi, vi, n, v := hi, vi, n, v
 			fns = append(fns, func() {
 				cfg := experiments.ClusterConfig(v, seed)
-				cfg.Hosts = n
+				cfg.Hosts = zones * n
+				if zones > 1 {
+					cfg.Topology = topology.Uniform(zones, n)
+				}
 				cfg.Shards = shards
 				if lookahead > 0 {
 					cfg.Lookahead = lookahead
@@ -250,7 +261,11 @@ func clusterMatrix(stdout, stderr io.Writer, hosts []int, seed uint64, nWorkers,
 	}
 	experiments.ParallelDo(nWorkers, fns)
 
-	fmt.Fprintf(stdout, "%-8s", "hosts")
+	hdr := "hosts"
+	if zones > 1 {
+		hdr = fmt.Sprintf("hosts/%dz", zones)
+	}
+	fmt.Fprintf(stdout, "%-8s", hdr)
 	for _, v := range variants {
 		fmt.Fprintf(stdout, "  %-24s", v.Name+" p99/slo/migr")
 	}

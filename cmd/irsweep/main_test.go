@@ -67,6 +67,27 @@ func TestClusterSweepDeterministic(t *testing.T) {
 	}
 }
 
+func TestClusterSweepZones(t *testing.T) {
+	code, out, errOut := runCmd(t, "-cluster", "-hosts", "2", "-zones", "2", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "hosts/2z") {
+		t.Fatalf("zoned sweep header missing hosts/2z:\n%s", out)
+	}
+	// A zoned run is a different topology, so its numbers must differ
+	// from the flat run over the same total host count.
+	_, flat, _ := runCmd(t, "-cluster", "-hosts", "4", "-seed", "1")
+	flatRow := flat[strings.LastIndex(flat, "\n4"):]
+	zonedRow := out[strings.LastIndex(out, "\n2"):]
+	if strings.TrimSpace(flatRow[2:]) == strings.TrimSpace(zonedRow[2:]) {
+		t.Fatal("2-zone sweep produced the same cells as the flat 4-host sweep")
+	}
+	if code, _, _ := runCmd(t, "-cluster", "-zones", "0"); code != 2 {
+		t.Fatal("-zones 0 accepted")
+	}
+}
+
 func TestAttackSweepMatrix(t *testing.T) {
 	code, out, errOut := runCmd(t, "-attack", "tick-evade;boost-game,run=2ms", "-seed", "1")
 	if code != 0 {

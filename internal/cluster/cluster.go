@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/span"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/watch"
 	"repro/internal/workload"
@@ -182,6 +183,25 @@ type Config struct {
 	// noisy-neighbor attribution, and the incident flight recorder
 	// (see internal/watch). Runs without it pay nothing.
 	Watch *watch.Config
+
+	// Topology groups the hosts into zones for the two-level control
+	// plane (see zone.go). Nil runs one flat zone — byte-identical to
+	// the pre-zone cluster. Must cover exactly Hosts hosts.
+	Topology *topology.Topology
+	// Ramp, when non-empty, is a piecewise arrival schedule: stage k's
+	// mean inter-arrival applies from its At until the next stage
+	// (before the first stage, Arrival applies). Stages must advance.
+	Ramp []topology.Stage
+	// ZoneOutages injects zone-wide failures (requires a Topology
+	// covering the named zones).
+	ZoneOutages []ZoneOutage
+	// Autoscale, when non-nil, runs the replica autoscaler against the
+	// watchdog's burn-rate signal (requires Watch with rules).
+	Autoscale *AutoscaleConfig
+	// SLOPhases, when non-empty, splits served/violation counts into
+	// len+1 phase buckets at these completion-time boundaries, so a
+	// "recovered after the outage" rate is measurable.
+	SLOPhases []sim.Time
 }
 
 // DefaultConfig returns the standard consolidation rig: three 4-pCPU
@@ -361,6 +381,12 @@ type VMHandle struct {
 	servedSeen int64
 	delivered  int64
 
+	// Autoscaler lifecycle: a draining replica is cordoned while its
+	// outstanding work finishes; a retired one has sealed its gate and
+	// released its capacity (see autoscale.go).
+	draining bool
+	retired  bool
+
 	// Windowed steal signal (migration victim detection), refreshed by
 	// the monitor barrier task.
 	prevSteal float64
@@ -406,6 +432,29 @@ type Cluster struct {
 	migrations    int64
 	lastRefresh   sim.Time
 	blackouts     int64
+
+	// Zone layer (see zone.go). zones is never empty: a nil Topology
+	// yields one flat zone.
+	topo             *topology.Topology
+	zones            []*zoneState
+	cordonedZones    int
+	zoneOutageCount  int64
+	failoverRouted   int64 // requests routed while some zone was dark
+	zoneRouteScratch []topology.ZoneRoute
+	zoneStatScratch  []topology.ZoneStats
+	rampIdx          int
+
+	// Autoscaler state (see autoscale.go).
+	asLastUp     sim.Time
+	asQuietSince sim.Time
+	asSeq        int
+	asCreated    []*VMHandle
+	scaleUps     int64
+	scaleDowns   int64
+
+	// Phase SLO accounting (len(SLOPhases)+1 buckets), filled at drain.
+	phaseServed []int64
+	phaseViols  []int64
 
 	// pendingViols defers cluster-level invariant violations to the
 	// next barrier drain: a violation may be recorded mid-window (a
@@ -460,6 +509,27 @@ func New(cfg Config) (*Cluster, error) {
 		if s.VCPUs <= 0 {
 			return nil, fmt.Errorf("cluster: VM %q has %d vCPUs", s.Name, s.VCPUs)
 		}
+	}
+	for i, st := range cfg.Ramp {
+		if st.Arrival <= 0 {
+			return nil, fmt.Errorf("cluster: ramp stage %d arrival %v not positive", i, st.Arrival)
+		}
+		if i > 0 && st.At <= cfg.Ramp[i-1].At {
+			return nil, fmt.Errorf("cluster: ramp stage %d at %v does not advance", i, st.At)
+		}
+	}
+	if cfg.Autoscale != nil {
+		if cfg.Watch == nil || len(cfg.Watch.Rules) == 0 {
+			return nil, fmt.Errorf("cluster: autoscaler needs the SLO watchdog with at least one burn-rate rule")
+		}
+		if cfg.Autoscale.Template.Kind != KindServer || cfg.Autoscale.Template.VCPUs <= 0 {
+			return nil, fmt.Errorf("cluster: autoscaler template must be a server spec with vCPUs")
+		}
+		if cfg.Autoscale.Max < 1 {
+			return nil, fmt.Errorf("cluster: autoscaler max %d < 1", cfg.Autoscale.Max)
+		}
+		as := cfg.Autoscale.withDefaults()
+		cfg.Autoscale = &as
 	}
 
 	sh := sim.NewSharded(cfg.Hosts+1, cfg.Lookahead)
@@ -530,6 +600,22 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 
+	if err := c.buildZones(); err != nil {
+		return nil, err
+	}
+	for i, o := range cfg.ZoneOutages {
+		if o.Zone < 0 || o.Zone >= len(c.zones) {
+			return nil, fmt.Errorf("cluster: zone outage %d targets zone %d of %d", i, o.Zone, len(c.zones))
+		}
+		if o.At < 0 || o.For <= 0 {
+			return nil, fmt.Errorf("cluster: zone outage %d needs at >= 0 and for > 0", i)
+		}
+	}
+	if len(cfg.SLOPhases) > 0 {
+		c.phaseServed = make([]int64, len(cfg.SLOPhases)+1)
+		c.phaseViols = make([]int64, len(cfg.SLOPhases)+1)
+	}
+
 	if cfg.Invariants {
 		// Cluster-level invariants audit at barriers (they read every
 		// shard); each host additionally runs its own checker over its
@@ -595,7 +681,7 @@ func New(cfg Config) (*Cluster, error) {
 	// Cluster-wide request stream (open loop, exponential) on the
 	// control shard.
 	if cfg.Arrival > 0 && cfg.Duration > 0 {
-		c.ctl.After(c.arrivalRNG.Exp(cfg.Arrival), "cluster-arrival", c.nextArrival)
+		c.ctl.After(c.arrivalRNG.Exp(c.arrivalMean(0)), "cluster-arrival", c.nextArrival)
 	}
 
 	// Interference monitor (signal refresh + migration trigger): reads
@@ -605,6 +691,25 @@ func New(cfg Config) (*Cluster, error) {
 	// Cluster-level host blackouts.
 	if cfg.HostBlackoutEvery > 0 && cfg.HostBlackoutFor > 0 {
 		c.sh.EveryBarrier(cfg.HostBlackoutEvery, "cluster-blackout", c.hostBlackout)
+	}
+
+	// Zone outages and the autoscaler register last, so configurations
+	// without them keep the exact barrier-task sequence (and therefore
+	// byte-identical output) of the pre-zone cluster.
+	for _, o := range cfg.ZoneOutages {
+		o := o
+		z := c.zones[o.Zone]
+		c.sh.AtBarrier(o.At, "zone-outage-"+z.name, func() { c.startZoneOutage(z, o.For) })
+		c.sh.AtBarrier(o.At+o.For, "zone-restore-"+z.name, func() { c.endZoneOutage(z) })
+	}
+	if cfg.Autoscale != nil {
+		// Registered after the watch epoch task: at a shared instant the
+		// epoch's evaluation runs first, so the tick reads fresh state.
+		c.sh.EveryBarrier(cfg.Autoscale.Interval, "autoscale", c.autoscaleTick)
+		// Any rising-edge alert resets the quiet clock even if the rule
+		// clears again between ticks — a brief page still delays
+		// scale-down by a full DownAfter.
+		c.watcher.AddAlertHook(func(watch.Alert) { c.asQuietSince = c.sh.Now() })
 	}
 
 	return c, nil
@@ -643,6 +748,16 @@ func (c *Cluster) drain(now sim.Time) {
 			violated := c.cfg.SLO > 0 && r.lat > c.cfg.SLO
 			if violated {
 				c.sloViolations++
+			}
+			if c.phaseServed != nil {
+				pi := 0
+				for pi < len(c.cfg.SLOPhases) && r.at >= c.cfg.SLOPhases[pi] {
+					pi++
+				}
+				c.phaseServed[pi]++
+				if violated {
+					c.phaseViols[pi]++
+				}
 			}
 			c.watcher.ObserveRequest(r.at, violated)
 		}
@@ -713,6 +828,13 @@ func (c *Cluster) admit(hd *VMHandle) {
 	hd.host = host
 	hd.admitted = true
 	hd.lastMove = c.sh.Now() // starts the migration residency clock
+	if hd.Spec.Kind == KindServer {
+		// Router membership is per zone, in admission order (the JSQ
+		// tie-break order). Migration is intra-zone, so membership is
+		// set once here.
+		z := c.zoneOf(host)
+		z.servers = append(z.servers, hd)
+	}
 	c.registerWatchVM(hd)
 	c.boot(hd, host, nil)
 	if hd.Spec.Kind == KindServer {
@@ -790,6 +912,12 @@ type HostLoad struct {
 	VMs       int
 }
 
+// PhaseStats is the SLO accounting for one Config.SLOPhases bucket.
+type PhaseStats struct {
+	Served, Violations int64
+	Rate               float64
+}
+
 // Result summarizes one cluster run.
 type Result struct {
 	Generated, Served, Unserved int64
@@ -803,6 +931,17 @@ type Result struct {
 	Violations                  int64
 	Events                      uint64 // engine events dispatched, all shards
 	Hosts                       []HostLoad
+
+	// Zone / control-plane outputs (zero without a multi-zone topology
+	// or the respective feature).
+	Zones       int
+	ZoneOutages int64
+	Failover    int64 // requests routed while some zone was dark
+	Replicas    int   // live server replicas at end of run
+	ScaleUps    int64
+	ScaleDowns  int64
+	Alerts      int64
+	Phases      []PhaseStats // per-SLOPhases bucket, when configured
 }
 
 func (c *Cluster) result() *Result {
@@ -836,8 +975,30 @@ func (c *Cluster) result() *Result {
 			res.Violations += h.checker.Count()
 		}
 	}
+	res.Zones = len(c.zones)
+	res.ZoneOutages = c.zoneOutageCount
+	res.Failover = c.failoverRouted
+	res.Replicas = c.liveReplicas()
+	res.ScaleUps = c.scaleUps
+	res.ScaleDowns = c.scaleDowns
+	if c.watcher != nil {
+		res.Alerts = int64(len(c.watcher.Alerts()))
+	}
+	for i := range c.phaseServed {
+		p := PhaseStats{Served: c.phaseServed[i], Violations: c.phaseViols[i]}
+		if p.Served > 0 {
+			p.Rate = float64(p.Violations) / float64(p.Served)
+		}
+		res.Phases = append(res.Phases, p)
+	}
 	return res
 }
+
+// Zones returns the zone count (1 for a flat topology).
+func (c *Cluster) Zones() int { return len(c.zones) }
+
+// ZoneCordoned reports whether zone zi is currently cordoned.
+func (c *Cluster) ZoneCordoned(zi int) bool { return c.zones[zi].cordoned }
 
 // Stats exposes the cluster-level server statistics (latency
 // reservoir), fed at barrier drains.
@@ -852,7 +1013,7 @@ func (c *Cluster) Stats() *workload.ServerStats { return c.stats }
 func (c *Cluster) AuditInvariants(report func(rule, detail string)) {
 	perHost := make([]int, len(c.hosts))
 	for _, hd := range c.vms {
-		if hd.admitted {
+		if hd.admitted && !hd.retired {
 			perHost[hd.host.ID] += hd.Spec.VCPUs
 		}
 	}
@@ -877,7 +1038,13 @@ func (c *Cluster) AuditInvariants(report func(rule, detail string)) {
 			served += g.Served()
 			inflight += g.InFlight()
 		}
-		if hd.migrating {
+		if hd.retired {
+			// A retired replica sealed its gate at retirement; anything
+			// open means the drain-then-retire protocol broke.
+			if open != 0 {
+				report("cluster-single-instance", fmt.Sprintf("%s retired with %d open gates", hd.Spec.Name, open))
+			}
+		} else if hd.migrating {
 			if open > 1 {
 				report("cluster-single-instance", fmt.Sprintf("%s has %d open gates mid-migration", hd.Spec.Name, open))
 			}

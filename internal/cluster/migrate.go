@@ -52,6 +52,12 @@ func (c *Cluster) maybeMigrate() {
 		if !hd.admitted || hd.gate == nil || hd.gate.Closed() {
 			continue
 		}
+		// An autoscaler-draining replica is already on its way out, and
+		// a replica in a cordoned (outaged) zone has nowhere to go —
+		// migration is intra-zone.
+		if hd.draining || (len(c.zones) > 1 && c.zoneOf(hd.host).cordoned) {
+			continue
+		}
 		// Residency: a VM is not movable until MigrationCooldown after
 		// its admission or last move, so transient balancer noise right
 		// after placement cannot evict it.
@@ -78,11 +84,17 @@ func (c *Cluster) maybeMigrate() {
 	// Destination: re-run the interference-aware placement scorer for
 	// the victim over the other hosts, so a host that is "cool" only
 	// because its hogs steal from each other is not chosen for a
-	// latency-sensitive VM.
+	// latency-sensitive VM. Candidates stay inside the victim's zone —
+	// a zone is a failure/latency domain, and cross-zone capacity moves
+	// are the autoscaler's job, not the hot-spot balancer's.
+	candidates := c.hosts
+	if len(c.zones) > 1 {
+		candidates = c.zoneOf(hot).hosts
+	}
 	cap := c.capacity()
 	var cool *Host
 	var coolScore float64
-	for _, h := range c.hosts {
+	for _, h := range candidates {
 		if h == hot || h.committed+victim.Spec.VCPUs > cap {
 			continue
 		}

@@ -51,24 +51,39 @@ var debugPlace bool
 // an over-capacity host is chosen only when every host is over.
 const overfullPenalty = 1000.0
 
-// place picks a host for hd under the configured policy. Ties always
-// break to the lowest host ID, keeping placement deterministic.
+// place picks a host for hd: with a multi-zone topology the zone
+// picker ranks zones by aggregate telemetry first (the outer level),
+// then the configured policy runs over the chosen zone's hosts (the
+// inner level). With one flat zone the outer level vanishes and the
+// policy sees the whole rack — the pre-zone behavior, byte for byte.
+// Ties always break to the lowest host ID, keeping placement
+// deterministic.
 func (c *Cluster) place(hd *VMHandle) *Host {
+	hosts := c.hosts
+	if len(c.zones) > 1 {
+		hosts = c.zones[c.pickZone(hd)].hosts
+	}
+	return c.placeAmong(hd, hosts)
+}
+
+// placeAmong runs the configured placement policy over the candidate
+// hosts.
+func (c *Cluster) placeAmong(hd *VMHandle, hosts []*Host) *Host {
 	n := hd.Spec.VCPUs
 	cap := c.capacity()
 	switch c.cfg.Policy {
 	case FirstFit:
-		for _, h := range c.hosts {
+		for _, h := range hosts {
 			if h.committed+n <= cap {
 				return h
 			}
 		}
-		return c.leastCommitted()
+		return leastCommitted(hosts)
 	case InterferenceAware:
 		// Act on a fresh window rather than the last monitor tick.
 		c.refreshSignals()
 		best, bestScore := (*Host)(nil), 0.0
-		for _, h := range c.hosts {
+		for _, h := range hosts {
 			s := c.placementScore(h, hd, cap)
 			if debugPlace {
 				fmt.Printf("  t=%v place %s: %s score=%.3f (busy=%.3f steal=%.3f wait=%.3f lhp=%.1f sens=%d committed=%d)\n",
@@ -80,14 +95,15 @@ func (c *Cluster) place(hd *VMHandle) *Host {
 		}
 		return best
 	default: // LeastLoaded
-		return c.leastCommitted()
+		return leastCommitted(hosts)
 	}
 }
 
-// leastCommitted returns the host with the fewest committed vCPUs.
-func (c *Cluster) leastCommitted() *Host {
-	best := c.hosts[0]
-	for _, h := range c.hosts[1:] {
+// leastCommitted returns the candidate host with the fewest committed
+// vCPUs.
+func leastCommitted(hosts []*Host) *Host {
+	best := hosts[0]
+	for _, h := range hosts[1:] {
 		if h.committed < best.committed {
 			best = h
 		}

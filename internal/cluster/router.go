@@ -1,21 +1,46 @@
 package cluster
 
 import (
+	"repro/internal/sim"
 	"repro/internal/span"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
 // The router is the cluster's front door: an open-loop Poisson stream
-// of requests on the control shard, each dispatched to the live server
-// replica with the least outstanding work and posted to that replica's
-// host shard with the transit latency (= the lookahead), so routing
-// never reads another shard mid-window. The load view is routed minus
-// served-as-seen-at-the-last-barrier — the slightly stale picture a
-// real front door has. A replica under migration is cordoned so its
-// queue drains before the switchover; when no replica is available at
-// all (early arrivals, every server mid-switchover) the request is held
-// back and flushed as soon as a gate opens, original timestamp intact,
-// so its wait shows up in the measured latency.
+// of requests on the control shard. Routing is partitioned by zone —
+// the outer level picks a zone by least mean outstanding work per live
+// replica (skipping cordoned zones, so an outage fails traffic over
+// automatically), the inner level runs join-shortest-queue over that
+// zone's replicas only. With one flat zone the outer level collapses
+// to a constant and the inner JSQ is exactly the old global router.
+// Each dispatch posts to the replica's host shard with the transit
+// latency (= the lookahead), so routing never reads another shard
+// mid-window. The load view is routed minus served-as-seen-at-the-
+// last-barrier — the slightly stale picture a real front door has. A
+// replica under migration or autoscaler drain is cordoned so its queue
+// empties before the switchover; when no replica is available at all
+// (early arrivals, every server mid-switchover, every zone dark) the
+// request is held back and flushed as soon as a gate opens, original
+// timestamp intact, so its wait shows up in the measured latency.
+
+// arrivalMean returns the mean inter-arrival time in effect at now:
+// the flat Arrival, or the active stage of the configured ramp. The
+// stage cursor only moves forward — arrivals consume time
+// monotonically.
+func (c *Cluster) arrivalMean(now sim.Time) sim.Time {
+	ramp := c.cfg.Ramp
+	if len(ramp) == 0 {
+		return c.cfg.Arrival
+	}
+	for c.rampIdx+1 < len(ramp) && ramp[c.rampIdx+1].At <= now {
+		c.rampIdx++
+	}
+	if ramp[c.rampIdx].At <= now {
+		return ramp[c.rampIdx].Arrival
+	}
+	return c.cfg.Arrival // before the first stage
+}
 
 // nextArrival generates one cluster request and re-arms itself until
 // the stream duration elapses. Runs on the control shard.
@@ -28,18 +53,30 @@ func (c *Cluster) nextArrival() {
 	// Admission is where the causal span is born: everything that happens
 	// to the request from here on is somebody's fault.
 	c.route(workload.Request{Arrival: now, Span: c.cfg.Spans.Start(now)})
-	c.ctl.After(c.arrivalRNG.Exp(c.cfg.Arrival), "cluster-arrival", c.nextArrival)
+	c.ctl.After(c.arrivalRNG.Exp(c.arrivalMean(now)), "cluster-arrival", c.nextArrival)
 }
 
-// route dispatches one request stamped with its arrival time: pick the
-// replica with the fewest outstanding requests (ties to the earliest
-// admitted), then post the delivery to its host's shard one transit
-// latency out.
+// route dispatches one request stamped with its arrival time: pick a
+// zone (trivial with one), then the replica with the fewest
+// outstanding requests inside it (ties to the earliest admitted), and
+// post the delivery to its host's shard one transit latency out.
 func (c *Cluster) route(req workload.Request) {
+	z := c.zones[0]
+	if len(c.zones) > 1 {
+		zi := topology.RouteZone(c.zoneRoutes())
+		if zi < 0 {
+			c.buffered = append(c.buffered, req)
+			return
+		}
+		z = c.zones[zi]
+		if c.cordonedZones > 0 {
+			c.failoverRouted++
+		}
+	}
 	var best *VMHandle
 	var bestLoad int64
-	for _, hd := range c.servers {
-		if !hd.admitted || hd.migrating {
+	for _, hd := range z.servers {
+		if !routable(hd) {
 			continue
 		}
 		load := hd.routed - hd.servedSeen
@@ -51,6 +88,7 @@ func (c *Cluster) route(req workload.Request) {
 		c.buffered = append(c.buffered, req)
 		return
 	}
+	z.routed++
 	best.routed++
 	host := best.host
 	gate := best.gate
@@ -76,7 +114,8 @@ func (c *Cluster) deliverReq(hd *VMHandle, host *Host, gate *workload.RemoteGate
 }
 
 // flushBuffered re-routes requests held back while no replica was
-// available. Barrier context (admission, migration completion).
+// available. Barrier context (admission, migration completion, outage
+// recovery).
 func (c *Cluster) flushBuffered() {
 	if len(c.buffered) == 0 {
 		return

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Zones partition the rack into failure/latency domains and split the
+// control plane in two: the zone level decides from cheap per-zone
+// aggregates (which zone should host an arriving VM, which zone should
+// serve the next request), the host level keeps the fine-grained
+// interference-aware decisions it already had, now scoped to one
+// zone's hosts. A cluster with no Topology configured runs one flat
+// zone and behaves byte-identically to the pre-zone code: the zone
+// level collapses to "zone 0" without consulting any aggregate.
+
+// ZoneOutage injects a zone-wide failure: at At the zone is cordoned —
+// the router fails away from it, placement and migration stop
+// targeting it — and every vCPU on its hosts pauses for For (the
+// rack-row power/network event). At At+For the hosts resume and the
+// cordon lifts.
+type ZoneOutage struct {
+	Zone    int
+	At, For sim.Time
+}
+
+// zoneState is the control plane's per-zone bookkeeping: the member
+// hosts, the server replicas admitted into the zone (in admission
+// order — the JSQ tie-break order), and the cordon flag.
+type zoneState struct {
+	idx      int
+	name     string
+	hosts    []*Host
+	servers  []*VMHandle
+	cordoned bool
+	routed   int64 // requests routed into this zone
+}
+
+// buildZones materializes cfg.Topology (or the flat single zone) into
+// runtime state. Called from New after the hosts exist.
+func (c *Cluster) buildZones() error {
+	topo := c.cfg.Topology
+	if topo == nil {
+		topo = topology.Flat(c.cfg.Hosts)
+	}
+	if topo.Hosts() != c.cfg.Hosts {
+		return fmt.Errorf("cluster: topology covers %d hosts, config has %d", topo.Hosts(), c.cfg.Hosts)
+	}
+	c.topo = topo
+	for zi := 0; zi < topo.Zones(); zi++ {
+		z := topo.Zone(zi)
+		zs := &zoneState{idx: zi, name: z.Name}
+		for _, h := range z.Hosts {
+			zs.hosts = append(zs.hosts, c.hosts[h])
+		}
+		c.zones = append(c.zones, zs)
+	}
+	return nil
+}
+
+// zoneOf returns the zone holding host h.
+func (c *Cluster) zoneOf(h *Host) *zoneState { return c.zones[c.topo.ZoneOf(h.ID)] }
+
+// routable reports whether the router may feed hd: admitted, not
+// cordoned for a migration switchover, and not being drained away by
+// the autoscaler.
+func routable(hd *VMHandle) bool {
+	return hd.admitted && !hd.migrating && !hd.draining && !hd.retired
+}
+
+// zoneRoutes refreshes the router's per-zone aggregates (live replica
+// count, summed outstanding estimate) into a reused scratch slice.
+func (c *Cluster) zoneRoutes() []topology.ZoneRoute {
+	zs := c.zoneRouteScratch[:0]
+	for _, z := range c.zones {
+		r := topology.ZoneRoute{Cordoned: z.cordoned}
+		for _, hd := range z.servers {
+			if !routable(hd) {
+				continue
+			}
+			r.Replicas++
+			r.Outstanding += hd.routed - hd.servedSeen
+		}
+		zs = append(zs, r)
+	}
+	c.zoneRouteScratch = zs
+	return zs
+}
+
+// pickZone is the outer level of the two-level placement scheduler:
+// aggregate each zone's telemetry and rank with the shared zone
+// scorer. Only consulted when the topology has more than one zone.
+func (c *Cluster) pickZone(hd *VMHandle) int {
+	c.refreshSignals() // aggregate a fresh window, as host-level IA does
+	cap := c.capacity()
+	st := c.zoneStatScratch[:0]
+	for _, z := range c.zones {
+		zs := topology.ZoneStats{
+			Hosts:    len(z.hosts),
+			Capacity: cap * len(z.hosts),
+			Cordoned: z.cordoned,
+		}
+		for _, h := range z.hosts {
+			zs.Committed += h.committed
+			zs.Busy += h.busyFrac
+			zs.Interference += h.Interference()
+			zs.Sensitive += h.sensitive
+		}
+		zs.Busy /= float64(len(z.hosts))
+		zs.Interference /= float64(len(z.hosts))
+		st = append(st, zs)
+	}
+	c.zoneStatScratch = st
+	return topology.PickZone(st, hd.Spec.VCPUs, hd.Spec.Pressure, hd.Spec.Sensitive)
+}
+
+// startZoneOutage cordons the zone and blacks out its hosts: every
+// vCPU of every resident VM pauses for the outage duration. Barrier
+// task.
+func (c *Cluster) startZoneOutage(z *zoneState, dur sim.Time) {
+	if z.cordoned {
+		return
+	}
+	z.cordoned = true
+	c.cordonedZones++
+	c.zoneOutageCount++
+	for _, h := range z.hosts {
+		for _, vm := range h.HV.VMs() {
+			for _, v := range vm.VCPUs {
+				h.HV.PauseVCPU(v, dur)
+			}
+		}
+	}
+}
+
+// endZoneOutage lifts the cordon (the hosts' vCPUs resume on their own
+// pause timers). Barrier task.
+func (c *Cluster) endZoneOutage(z *zoneState) {
+	if !z.cordoned {
+		return
+	}
+	z.cordoned = false
+	c.cordonedZones--
+	// Requests buffered while every zone was dark can flow again.
+	c.flushBuffered()
+}

@@ -388,6 +388,8 @@ func ByID(id string, opt Options) (Table, bool) {
 		return Watch(opt), true
 	case "attack":
 		return Attack(opt), true
+	case "scale":
+		return Scale(opt), true
 	default:
 		return Table{}, false
 	}
@@ -399,5 +401,5 @@ func IDs() []string {
 	return []string{"fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sadelay",
 		"ab-pull", "ab-salimit", "ab-ticket", "ab-spinblock", "ab-strictco",
-		"claims", "obs", "chaos", "cluster", "blame", "watch", "attack"}
+		"claims", "obs", "chaos", "cluster", "blame", "watch", "attack", "scale"}
 }

@@ -52,3 +52,22 @@ func TestShardedMatchesSerialWatch(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedMatchesSerialScale(t *testing.T) {
+	// The scale rig exercises the multi-zone control plane: two-level
+	// placement, the partitioned router with outage failover, and the
+	// autoscaler admitting and retiring replicas mid-run — every one of
+	// which crosses shard boundaries through the barrier protocol. A
+	// 2-zone × 8-host rack must render identically on one engine and on
+	// per-host engine pools.
+	if testing.Short() {
+		t.Skip("multi-zone rig at three shard widths")
+	}
+	serial := shardedTable(t, "scale", 1, 1)
+	for _, shards := range []int{2, 4} {
+		if got := shardedTable(t, "scale", 1, shards); got != serial {
+			t.Errorf("scale table at %d shards differs from serial.\n--- serial ---\n%s--- %d shards ---\n%s",
+				shards, serial, shards, got)
+		}
+	}
+}

@@ -72,3 +72,26 @@ func BenchmarkEngineChurn(b *testing.B) {
 		eng.Step()
 	}
 }
+
+// BenchmarkShardedSparse measures the coordinator's per-window
+// overhead when most shards are idle: 16 shards, events on only one,
+// multi-worker pool. Before the idle-shard skip every window paid 16
+// worker wake/park round-trips; with it, 15 of those collapse to an
+// inline clock advance (ROADMAP item 1's noted remaining upside).
+func BenchmarkShardedSparse(b *testing.B) {
+	const lookahead = Time(250_000)
+	sh := NewSharded(16, lookahead)
+	sh.SetWorkers(4)
+	busy := sh.Shard(1)
+	busy.Every(lookahead/4, "work", func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	horizon := Time(0)
+	for i := 0; i < b.N; i++ {
+		horizon += lookahead
+		if err := sh.Run(horizon); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sh.Fired())*1e9/float64(b.Elapsed().Nanoseconds()+1), "events/sec")
+}

@@ -216,6 +216,26 @@ func (e *Engine) RunWindow(end Time) {
 	e.now = end
 }
 
+// NextAt returns the due time of the earliest pending event, or false
+// for an empty queue. The sharded coordinator uses it to tell an
+// active window (events to dispatch) from an idle one (clock advance
+// only) without paying a worker wakeup for the latter.
+func (e *Engine) NextAt() (Time, bool) {
+	if next := e.queue.min(); next != nil {
+		return next.at, true
+	}
+	return 0, false
+}
+
+// SkipTo advances the clock to end without dispatching — the
+// empty-window fast path of RunWindow. The caller must know no event
+// is due at or before end (see NextAt).
+func (e *Engine) SkipTo(end Time) {
+	if end > e.now {
+		e.now = end
+	}
+}
+
 // RunUntilQuiet dispatches events until the queue drains or until the
 // hard cap is hit, whichever comes first; hitting the cap returns
 // ErrHorizonCap (wrapped with the times involved). Workload-completion

@@ -44,9 +44,10 @@ type ShardedEngine struct {
 	now       Time
 	workers   int
 
-	inWindow bool     // set while shard goroutines may be running
-	outboxes [][]mail // per-source-shard cross-shard posts this window
-	scratch  []mail   // merge buffer reused across barriers
+	inWindow bool      // set while shard goroutines may be running
+	outboxes [][]mail  // per-source-shard cross-shard posts this window
+	scratch  []mail    // merge buffer reused across barriers
+	active   []*Engine // shards with events due this window, reused
 
 	tasks   []*barrierTask
 	taskSeq uint64
@@ -268,22 +269,39 @@ func (s *ShardedEngine) Run(horizon Time) error {
 	return nil
 }
 
-// runWindow executes every shard from its current time to end. With
-// one worker the shards run sequentially in index order on the calling
-// goroutine; otherwise a bounded pool claims shards off a shared
+// runWindow executes every shard from its current time to end. Shards
+// with no event due in the window are skipped inline — their clock
+// just advances — so idle hosts cost no worker wakeup. With one worker
+// the active shards run sequentially in index order on the calling
+// goroutine; otherwise a bounded pool claims them off a shared
 // counter. Either way each shard's window is single-threaded and
 // isolated, so the schedule is identical.
 func (s *ShardedEngine) runWindow(end Time) {
 	if end <= s.now {
 		return
 	}
+	// Partition: an engine whose next event lies beyond the window
+	// would only execute `now = end` — doing that here skips the
+	// wake/park round-trip that dominates when most shards are idle.
+	active := s.active[:0]
+	for _, e := range s.engines {
+		if at, ok := e.NextAt(); ok && at <= end {
+			active = append(active, e)
+		} else {
+			e.SkipTo(end)
+		}
+	}
+	s.active = active
+	if len(active) == 0 {
+		return
+	}
 	s.inWindow = true
 	n := s.workers
-	if n > len(s.engines) {
-		n = len(s.engines)
+	if n > len(active) {
+		n = len(active)
 	}
 	if n <= 1 {
-		for _, e := range s.engines {
+		for _, e := range active {
 			e.RunWindow(end)
 		}
 	} else {
@@ -293,12 +311,15 @@ func (s *ShardedEngine) runWindow(end Time) {
 		for w := 0; w < n; w++ {
 			go func() {
 				defer wg.Done()
+				// Read the active set through s (stable until the
+				// barrier): capturing the reassigned local would heap-
+				// allocate a cell for it every window.
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(s.engines) {
+					if i >= len(s.active) {
 						return
 					}
-					s.engines[i].RunWindow(end)
+					s.active[i].RunWindow(end)
 				}
 			}()
 		}

@@ -1,0 +1,739 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// LoadSpec is the declarative cluster-load specification driving the
+// scale experiment and cmd/irsload — this repo's clusterloader2: one
+// text blob describes the rack shape, the scheduling stack, the
+// request load curve (flat, staged ramp, or diurnal), the tenant mix,
+// injected zone outages, the burn-rate alert rule, and the replica
+// autoscaler. Specs parse from strings (ParseLoadSpec) in the same
+// section:key=value idiom as fault.ParsePlan and workload.ParseAttack,
+// round-trip through String, and validate strictly, so a spec can live
+// in a Makefile line, a CI job, or a file without drifting from what
+// the simulator actually runs.
+//
+// Syntax: sections separated by ';' or newlines, each
+// "name:key=value,...". '#' starts a line comment. Example:
+//
+//	topo:zones=2,hosts=8,pcpus=4
+//	sched:policy=ia,strategy=irs,migrate=on
+//	load:arrival=1ms,service=2ms,slo=25ms,duration=12s,drain=2s
+//	ramp:1500us@0,1ms@2s,800us@4s
+//	tenants:servers=2,server-vcpus=2,ants=2,ant-vcpus=2,spacing=500ms
+//	outage:zone=1,at=6s,for=1200ms
+//	alert:budget=0.02,fast=500ms,slow=2s,burn=3
+//	autoscale:max=8,step=2,cooldown=1500ms,down-after=2500ms
+type LoadSpec struct {
+	// Zones × HostsPerZone hosts of PCPUs pCPUs each (topo section).
+	Zones, HostsPerZone, PCPUs int
+
+	// Policy is the placement policy ("first-fit", "least-loaded",
+	// "ia"); Strategy the per-host hypervisor strategy ("vanilla",
+	// "ple", "relaxed-co", "irs"); Migrate enables hot-spot live
+	// migration (sched section).
+	Policy, Strategy string
+	Overcommit       float64
+	Migrate          bool
+
+	// Arrival is the mean request inter-arrival time (the flat rate,
+	// and the base rate the diurnal curve modulates); Service the mean
+	// service time; SLO the latency bound; Duration the stream length;
+	// Drain the extra settle time (load section).
+	Arrival, Service, SLO sim.Time
+	Duration, Drain       sim.Time
+
+	// Ramp is an explicit piecewise arrival schedule (ramp section):
+	// stage k's mean inter-arrival applies from its At until the next
+	// stage. Mutually exclusive with Diurnal.
+	Ramp []Stage
+	// Diurnal modulates the base Arrival rate sinusoidally (diurnal
+	// section) — the compressed millions-of-users day/night curve.
+	Diurnal *DiurnalSpec
+
+	// Tenant mix, per zone (tenants section): ServersPerZone server
+	// VMs (ServerVCPUs wide, ServerThreads workers, 0 = vCPU count)
+	// and AntsPerZone antagonist VMs (AntVCPUs wide), arriving
+	// alternately Spacing apart.
+	ServersPerZone, ServerVCPUs, ServerThreads int
+	AntsPerZone, AntVCPUs                      int
+	Spacing                                    sim.Time
+
+	// Outages are injected zone failures (outage sections, repeatable):
+	// at At the zone is cordoned and its hosts go dark for For.
+	Outages []OutageSpec
+
+	// Alert is the burn-rate rule the SLO watchdog evaluates (alert
+	// section); required when Autoscale is set.
+	Alert *AlertSpec
+	// Autoscale bounds the replica autoscaler (autoscale section).
+	Autoscale *AutoscaleSpec
+}
+
+// Stage is one step of a piecewise arrival schedule: mean inter-arrival
+// Arrival from time At on.
+type Stage struct {
+	Arrival sim.Time
+	At      sim.Time
+}
+
+// DiurnalSpec modulates the arrival rate as 1 + Swing·sin(2πt/Period),
+// discretized into Steps flat stages per period.
+type DiurnalSpec struct {
+	Period sim.Time
+	Swing  float64
+	Steps  int
+}
+
+// OutageSpec is one injected zone failure.
+type OutageSpec struct {
+	Zone    int
+	At, For sim.Time
+}
+
+// AlertSpec is the burn-rate rule in watch.Rule shape.
+type AlertSpec struct {
+	Budget     float64
+	Fast, Slow sim.Time
+	Burn       float64
+}
+
+// AutoscaleSpec bounds the replica autoscaler. Min 0 means "the
+// initial server count"; Max must fit at least Min.
+type AutoscaleSpec struct {
+	Min, Max, Step      int
+	Cooldown, DownAfter sim.Time
+	Interval            sim.Time
+}
+
+// Default knobs applied by withDefaults for omitted fields.
+const (
+	DefaultSpacing  = 500 * sim.Millisecond
+	DefaultDuration = 10 * sim.Second
+	DefaultDrain    = 2 * sim.Second
+)
+
+// withDefaults fills unset fields with the documented defaults.
+func (s LoadSpec) withDefaults() LoadSpec {
+	if s.Zones == 0 {
+		s.Zones = 1
+	}
+	if s.HostsPerZone == 0 {
+		s.HostsPerZone = 4
+	}
+	if s.PCPUs == 0 {
+		s.PCPUs = 4
+	}
+	if s.Policy == "" {
+		s.Policy = "ia"
+	}
+	if s.Strategy == "" {
+		s.Strategy = "irs"
+	}
+	if s.Overcommit == 0 {
+		s.Overcommit = 1.5
+	}
+	if s.Arrival == 0 {
+		s.Arrival = 1250 * sim.Microsecond
+	}
+	if s.Service == 0 {
+		s.Service = 2 * sim.Millisecond
+	}
+	if s.SLO == 0 {
+		s.SLO = 25 * sim.Millisecond
+	}
+	if s.Duration == 0 {
+		s.Duration = DefaultDuration
+	}
+	if s.Drain == 0 {
+		s.Drain = DefaultDrain
+	}
+	if s.ServersPerZone == 0 {
+		s.ServersPerZone = 2
+	}
+	if s.ServerVCPUs == 0 {
+		s.ServerVCPUs = 2
+	}
+	if s.AntVCPUs == 0 {
+		s.AntVCPUs = 2
+	}
+	if s.Spacing == 0 {
+		s.Spacing = DefaultSpacing
+	}
+	if d := s.Diurnal; d != nil {
+		cp := *d
+		if cp.Steps == 0 {
+			cp.Steps = 8
+		}
+		s.Diurnal = &cp
+	}
+	if a := s.Alert; a != nil {
+		cp := *a
+		if cp.Budget == 0 {
+			cp.Budget = 0.02
+		}
+		if cp.Fast == 0 {
+			cp.Fast = 500 * sim.Millisecond
+		}
+		if cp.Slow == 0 {
+			cp.Slow = 2 * sim.Second
+		}
+		if cp.Burn == 0 {
+			cp.Burn = 3
+		}
+		s.Alert = &cp
+	}
+	if as := s.Autoscale; as != nil {
+		cp := *as
+		if cp.Step == 0 {
+			cp.Step = 1
+		}
+		if cp.Cooldown == 0 {
+			cp.Cooldown = 2 * sim.Second
+		}
+		if cp.DownAfter == 0 {
+			cp.DownAfter = 3 * sim.Second
+		}
+		if cp.Interval == 0 {
+			cp.Interval = 250 * sim.Millisecond
+		}
+		if cp.Max == 0 {
+			cp.Max = s.Zones*s.ServersPerZone + cp.Step
+		}
+		s.Autoscale = &cp
+	}
+	return s
+}
+
+// policies and strategies a spec may name (validated here so a bad
+// spec fails at parse time, not deep inside cluster construction).
+var (
+	specPolicies   = []string{"first-fit", "least-loaded", "ia"}
+	specStrategies = []string{"vanilla", "ple", "relaxed-co", "irs"}
+)
+
+func oneOf(v string, allowed []string) bool {
+	for _, a := range allowed {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate rejects incoherent specs: impossible shapes, out-of-range
+// knobs, outages aimed at zones that do not exist, ramps that go
+// backwards, or an autoscaler with no alert rule to react to.
+func (s LoadSpec) Validate() error {
+	if s.Zones <= 0 || s.HostsPerZone <= 0 || s.PCPUs <= 0 {
+		return fmt.Errorf("topology: spec needs positive zones×hosts×pcpus (got %d×%d×%d)", s.Zones, s.HostsPerZone, s.PCPUs)
+	}
+	if !oneOf(s.Policy, specPolicies) {
+		return fmt.Errorf("topology: spec policy %q not in %v", s.Policy, specPolicies)
+	}
+	if !oneOf(s.Strategy, specStrategies) {
+		return fmt.Errorf("topology: spec strategy %q not in %v", s.Strategy, specStrategies)
+	}
+	if !(s.Overcommit > 0) || math.IsInf(s.Overcommit, 0) {
+		return fmt.Errorf("topology: spec overcommit %v not a positive finite number", s.Overcommit)
+	}
+	if s.Arrival <= 0 || s.Service <= 0 || s.SLO <= 0 || s.Duration <= 0 || s.Drain < 0 {
+		return fmt.Errorf("topology: spec load durations must be positive (arrival=%v service=%v slo=%v duration=%v drain=%v)",
+			s.Arrival, s.Service, s.SLO, s.Duration, s.Drain)
+	}
+	if len(s.Ramp) > 0 && s.Diurnal != nil {
+		return fmt.Errorf("topology: spec has both ramp and diurnal sections")
+	}
+	for i, st := range s.Ramp {
+		if st.Arrival <= 0 {
+			return fmt.Errorf("topology: ramp stage %d arrival %v not positive", i, st.Arrival)
+		}
+		if st.At < 0 {
+			return fmt.Errorf("topology: ramp stage %d at %v negative", i, st.At)
+		}
+		if i > 0 && st.At <= s.Ramp[i-1].At {
+			return fmt.Errorf("topology: ramp stage %d at %v does not advance past %v", i, st.At, s.Ramp[i-1].At)
+		}
+	}
+	if d := s.Diurnal; d != nil {
+		if d.Period <= 0 {
+			return fmt.Errorf("topology: diurnal period %v not positive", d.Period)
+		}
+		if !(d.Swing >= 0 && d.Swing < 1) {
+			return fmt.Errorf("topology: diurnal swing %v outside [0, 1)", d.Swing)
+		}
+		if d.Steps < 2 {
+			return fmt.Errorf("topology: diurnal steps %d < 2", d.Steps)
+		}
+	}
+	if s.ServersPerZone < 0 || s.AntsPerZone < 0 || s.ServerVCPUs <= 0 || s.AntVCPUs <= 0 || s.ServerThreads < 0 {
+		return fmt.Errorf("topology: bad tenant mix (servers=%d×%d ants=%d×%d threads=%d)",
+			s.ServersPerZone, s.ServerVCPUs, s.AntsPerZone, s.AntVCPUs, s.ServerThreads)
+	}
+	if s.ServersPerZone*s.Zones < 1 {
+		return fmt.Errorf("topology: spec places no server VMs")
+	}
+	if s.Spacing < 0 {
+		return fmt.Errorf("topology: spacing %v negative", s.Spacing)
+	}
+	for i, o := range s.Outages {
+		if o.Zone < 0 || o.Zone >= s.Zones {
+			return fmt.Errorf("topology: outage %d zone %d outside [0,%d)", i, o.Zone, s.Zones)
+		}
+		if o.At < 0 || o.For <= 0 {
+			return fmt.Errorf("topology: outage %d needs at >= 0 and for > 0 (got at=%v for=%v)", i, o.At, o.For)
+		}
+	}
+	if a := s.Alert; a != nil {
+		if !(a.Budget > 0 && a.Budget < 1) {
+			return fmt.Errorf("topology: alert budget %v outside (0, 1)", a.Budget)
+		}
+		if a.Fast <= 0 || a.Slow < a.Fast {
+			return fmt.Errorf("topology: alert windows fast=%v slow=%v incoherent", a.Fast, a.Slow)
+		}
+		if !(a.Burn > 0) || math.IsInf(a.Burn, 0) {
+			return fmt.Errorf("topology: alert burn %v not a positive finite number", a.Burn)
+		}
+	}
+	if as := s.Autoscale; as != nil {
+		if s.Alert == nil {
+			return fmt.Errorf("topology: autoscale section needs an alert section (the burn-rate signal it reacts to)")
+		}
+		if as.Min < 0 || as.Step <= 0 {
+			return fmt.Errorf("topology: autoscale min %d / step %d out of range", as.Min, as.Step)
+		}
+		base := as.Min
+		if base == 0 {
+			base = s.ServersPerZone * s.Zones
+		}
+		if as.Max < base {
+			return fmt.Errorf("topology: autoscale max %d below floor %d", as.Max, base)
+		}
+		if as.Cooldown <= 0 || as.DownAfter <= 0 || as.Interval <= 0 {
+			return fmt.Errorf("topology: autoscale timers must be positive (cooldown=%v down-after=%v interval=%v)",
+				as.Cooldown, as.DownAfter, as.Interval)
+		}
+	}
+	return nil
+}
+
+// Topology materializes the spec's rack shape.
+func (s LoadSpec) Topology() *Topology { return Uniform(s.Zones, s.HostsPerZone) }
+
+// Stages returns the effective piecewise arrival schedule: the
+// explicit ramp when given, the discretized diurnal curve when
+// configured, or nil for a flat stream at Arrival. The diurnal rate at
+// stage k is base_rate × (1 + Swing·sin(2πk/Steps)), so the mean
+// inter-arrival is Arrival / (1 + Swing·sin(·)); stages repeat for the
+// whole Duration.
+func (s LoadSpec) Stages() []Stage {
+	if len(s.Ramp) > 0 {
+		return s.Ramp
+	}
+	d := s.Diurnal
+	if d == nil || d.Swing == 0 {
+		return nil
+	}
+	step := d.Period / sim.Time(d.Steps)
+	if step <= 0 {
+		step = 1
+	}
+	var out []Stage
+	for at, k := sim.Time(0), 0; at < s.Duration; at, k = at+step, k+1 {
+		mod := 1 + d.Swing*math.Sin(2*math.Pi*float64(k%d.Steps)/float64(d.Steps))
+		arr := sim.Time(float64(s.Arrival) / mod)
+		if arr < 1 {
+			arr = 1
+		}
+		out = append(out, Stage{Arrival: arr, At: at})
+	}
+	return out
+}
+
+// fmtDur renders a sim.Time in the Go duration syntax ParseLoadSpec
+// reads back.
+func fmtDur(t sim.Time) string { return time.Duration(t).String() }
+
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// String renders the spec in the exact syntax ParseLoadSpec accepts,
+// with every field explicit; ParseLoadSpec(s.String()) round-trips to
+// an equal spec.
+func (s LoadSpec) String() string {
+	s = s.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "topo:zones=%d,hosts=%d,pcpus=%d", s.Zones, s.HostsPerZone, s.PCPUs)
+	fmt.Fprintf(&b, "; sched:policy=%s,strategy=%s,overcommit=%s,migrate=%s",
+		s.Policy, s.Strategy, fmtFloat(s.Overcommit), onOff(s.Migrate))
+	fmt.Fprintf(&b, "; load:arrival=%s,service=%s,slo=%s,duration=%s,drain=%s",
+		fmtDur(s.Arrival), fmtDur(s.Service), fmtDur(s.SLO), fmtDur(s.Duration), fmtDur(s.Drain))
+	if len(s.Ramp) > 0 {
+		parts := make([]string, len(s.Ramp))
+		for i, st := range s.Ramp {
+			parts[i] = fmtDur(st.Arrival) + "@" + fmtDur(st.At)
+		}
+		fmt.Fprintf(&b, "; ramp:%s", strings.Join(parts, ","))
+	}
+	if d := s.Diurnal; d != nil {
+		fmt.Fprintf(&b, "; diurnal:period=%s,swing=%s,steps=%d", fmtDur(d.Period), fmtFloat(d.Swing), d.Steps)
+	}
+	fmt.Fprintf(&b, "; tenants:servers=%d,server-vcpus=%d,server-threads=%d,ants=%d,ant-vcpus=%d,spacing=%s",
+		s.ServersPerZone, s.ServerVCPUs, s.ServerThreads, s.AntsPerZone, s.AntVCPUs, fmtDur(s.Spacing))
+	for _, o := range s.Outages {
+		fmt.Fprintf(&b, "; outage:zone=%d,at=%s,for=%s", o.Zone, fmtDur(o.At), fmtDur(o.For))
+	}
+	if a := s.Alert; a != nil {
+		fmt.Fprintf(&b, "; alert:budget=%s,fast=%s,slow=%s,burn=%s",
+			fmtFloat(a.Budget), fmtDur(a.Fast), fmtDur(a.Slow), fmtFloat(a.Burn))
+	}
+	if as := s.Autoscale; as != nil {
+		fmt.Fprintf(&b, "; autoscale:min=%d,max=%d,step=%d,cooldown=%s,down-after=%s,interval=%s",
+			as.Min, as.Max, as.Step, fmtDur(as.Cooldown), fmtDur(as.DownAfter), fmtDur(as.Interval))
+	}
+	return b.String()
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// fieldParser decodes one key=value pair into the spec under
+// construction.
+type fieldParser func(s *LoadSpec, key, val string) (bool, error)
+
+// ParseLoadSpec parses a declarative cluster-load spec (see the
+// LoadSpec syntax above), applies defaults to omitted fields, and
+// validates the result.
+func ParseLoadSpec(text string) (LoadSpec, error) {
+	var s LoadSpec
+	seen := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, sec := range strings.Split(line, ";") {
+			sec = strings.TrimSpace(sec)
+			if sec == "" {
+				continue
+			}
+			name, rest, ok := strings.Cut(sec, ":")
+			if !ok {
+				return LoadSpec{}, fmt.Errorf("topology: section %q is not name:key=value,...", sec)
+			}
+			name = strings.ToLower(strings.TrimSpace(name))
+			if name != "outage" && seen[name] {
+				return LoadSpec{}, fmt.Errorf("topology: duplicate section %q", name)
+			}
+			seen[name] = true
+			if err := parseSection(&s, name, rest); err != nil {
+				return LoadSpec{}, err
+			}
+		}
+	}
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return LoadSpec{}, err
+	}
+	return s, nil
+}
+
+// parseSection dispatches one section body.
+func parseSection(s *LoadSpec, name, body string) error {
+	switch name {
+	case "topo":
+		return parseFields(s, name, body, parseTopoField)
+	case "sched":
+		return parseFields(s, name, body, parseSchedField)
+	case "load":
+		return parseFields(s, name, body, parseLoadField)
+	case "ramp":
+		return parseRamp(s, body)
+	case "diurnal":
+		s.Diurnal = &DiurnalSpec{}
+		return parseFields(s, name, body, parseDiurnalField)
+	case "tenants":
+		return parseFields(s, name, body, parseTenantsField)
+	case "outage":
+		s.Outages = append(s.Outages, OutageSpec{Zone: -1})
+		return parseFields(s, name, body, parseOutageField)
+	case "alert":
+		s.Alert = &AlertSpec{}
+		return parseFields(s, name, body, parseAlertField)
+	case "autoscale":
+		s.Autoscale = &AutoscaleSpec{}
+		return parseFields(s, name, body, parseAutoscaleField)
+	default:
+		return fmt.Errorf("topology: unknown section %q", name)
+	}
+}
+
+// parseFields walks a comma-separated key=value list, rejecting
+// duplicates and unknown keys.
+func parseFields(s *LoadSpec, section, body string, fp fieldParser) error {
+	seen := map[string]bool{}
+	for _, field := range strings.Split(body, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return fmt.Errorf("topology: %s: empty field", section)
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("topology: %s: field %q is not key=value", section, field)
+		}
+		key, val = strings.ToLower(strings.TrimSpace(key)), strings.TrimSpace(val)
+		if seen[key] {
+			return fmt.Errorf("topology: %s: duplicate field %q", section, key)
+		}
+		seen[key] = true
+		known, err := fp(s, key, val)
+		if err != nil {
+			return fmt.Errorf("topology: %s: %s: %v", section, key, err)
+		}
+		if !known {
+			return fmt.Errorf("topology: %s: unknown field %q", section, key)
+		}
+	}
+	return nil
+}
+
+func parseInt(val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func parseDur(val string) (sim.Time, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Time(d), nil
+}
+
+func parseOnOff(val string) (bool, error) {
+	switch strings.ToLower(val) {
+	case "on", "true", "yes", "1":
+		return true, nil
+	case "off", "false", "no", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("want on/off, got %q", val)
+}
+
+func parseTopoField(s *LoadSpec, key, val string) (bool, error) {
+	n, err := parseInt(val)
+	switch key {
+	case "zones":
+		s.Zones = n
+	case "hosts":
+		s.HostsPerZone = n
+	case "pcpus":
+		s.PCPUs = n
+	default:
+		return false, nil
+	}
+	if err == nil && n <= 0 {
+		// An explicit non-positive dimension is an error, not a request
+		// for the default (which withDefaults would silently apply).
+		return true, fmt.Errorf("%s must be positive, got %d", key, n)
+	}
+	return true, err
+}
+
+func parseSchedField(s *LoadSpec, key, val string) (bool, error) {
+	switch key {
+	case "policy":
+		s.Policy = strings.ToLower(val)
+	case "strategy":
+		s.Strategy = strings.ToLower(val)
+	case "overcommit":
+		f, err := strconv.ParseFloat(val, 64)
+		s.Overcommit = f
+		return true, err
+	case "migrate":
+		b, err := parseOnOff(val)
+		s.Migrate = b
+		return true, err
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+func parseLoadField(s *LoadSpec, key, val string) (bool, error) {
+	d, err := parseDur(val)
+	switch key {
+	case "arrival":
+		s.Arrival = d
+	case "service":
+		s.Service = d
+	case "slo":
+		s.SLO = d
+	case "duration":
+		s.Duration = d
+	case "drain":
+		s.Drain = d
+	default:
+		return false, nil
+	}
+	return true, err
+}
+
+// parseRamp reads the "arrival@at,arrival@at,..." stage list.
+func parseRamp(s *LoadSpec, body string) error {
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return fmt.Errorf("topology: ramp: empty stage")
+		}
+		arrS, atS, ok := strings.Cut(part, "@")
+		if !ok {
+			return fmt.Errorf("topology: ramp: stage %q is not arrival@at", part)
+		}
+		arr, err := parseDur(strings.TrimSpace(arrS))
+		if err != nil {
+			return fmt.Errorf("topology: ramp: %q: %v", part, err)
+		}
+		at, err := parseDur(strings.TrimSpace(atS))
+		if err != nil {
+			return fmt.Errorf("topology: ramp: %q: %v", part, err)
+		}
+		s.Ramp = append(s.Ramp, Stage{Arrival: arr, At: at})
+	}
+	sort.SliceStable(s.Ramp, func(a, b int) bool { return s.Ramp[a].At < s.Ramp[b].At })
+	return nil
+}
+
+func parseDiurnalField(s *LoadSpec, key, val string) (bool, error) {
+	d := s.Diurnal
+	switch key {
+	case "period":
+		t, err := parseDur(val)
+		d.Period = t
+		return true, err
+	case "swing":
+		f, err := strconv.ParseFloat(val, 64)
+		d.Swing = f
+		return true, err
+	case "steps":
+		n, err := parseInt(val)
+		d.Steps = n
+		return true, err
+	}
+	return false, nil
+}
+
+func parseTenantsField(s *LoadSpec, key, val string) (bool, error) {
+	switch key {
+	case "spacing":
+		d, err := parseDur(val)
+		s.Spacing = d
+		return true, err
+	}
+	n, err := parseInt(val)
+	switch key {
+	case "servers":
+		if err == nil && n <= 0 {
+			// 0 would be indistinguishable from "defaulted" — and a
+			// spec with no server VMs has nothing to route to anyway.
+			return true, fmt.Errorf("spec places no server VMs (servers=%d)", n)
+		}
+		s.ServersPerZone = n
+	case "server-vcpus":
+		s.ServerVCPUs = n
+	case "server-threads":
+		s.ServerThreads = n
+	case "ants":
+		s.AntsPerZone = n
+	case "ant-vcpus":
+		s.AntVCPUs = n
+	default:
+		return false, nil
+	}
+	return true, err
+}
+
+func parseOutageField(s *LoadSpec, key, val string) (bool, error) {
+	o := &s.Outages[len(s.Outages)-1]
+	switch key {
+	case "zone":
+		n, err := parseInt(val)
+		o.Zone = n
+		return true, err
+	case "at":
+		d, err := parseDur(val)
+		o.At = d
+		return true, err
+	case "for":
+		d, err := parseDur(val)
+		o.For = d
+		return true, err
+	}
+	return false, nil
+}
+
+func parseAlertField(s *LoadSpec, key, val string) (bool, error) {
+	a := s.Alert
+	switch key {
+	case "budget", "burn":
+		f, err := strconv.ParseFloat(val, 64)
+		if key == "budget" {
+			a.Budget = f
+		} else {
+			a.Burn = f
+		}
+		return true, err
+	case "fast", "slow":
+		d, err := parseDur(val)
+		if key == "fast" {
+			a.Fast = d
+		} else {
+			a.Slow = d
+		}
+		return true, err
+	}
+	return false, nil
+}
+
+func parseAutoscaleField(s *LoadSpec, key, val string) (bool, error) {
+	as := s.Autoscale
+	switch key {
+	case "min", "max", "step":
+		n, err := parseInt(val)
+		switch key {
+		case "min":
+			as.Min = n
+		case "max":
+			as.Max = n
+		default:
+			as.Step = n
+		}
+		return true, err
+	case "cooldown", "down-after", "interval":
+		d, err := parseDur(val)
+		switch key {
+		case "cooldown":
+			as.Cooldown = d
+		case "down-after":
+			as.DownAfter = d
+		default:
+			as.Interval = d
+		}
+		return true, err
+	}
+	return false, nil
+}

@@ -1,0 +1,266 @@
+// Package topology models the multi-rack shape of a cluster — hosts
+// grouped into zones — and the two cheap zone-level decisions the
+// control plane makes from per-zone aggregates: where an arriving VM
+// should land (PickZone, the outer level of the two-level placement
+// scheduler) and where the next request should be routed (RouteZone,
+// the zone selector of the partitioned router). Both work from
+// aggregate telemetry only — committed capacity, mean busy fraction,
+// mean interference score, outstanding request estimates — so the zone
+// level never reads per-host state, mirroring how cloud control planes
+// (Arktos-style partitioned API servers) keep the top tier's state
+// small enough to scale. The fine-grained, per-host decision stays
+// with the inner level: the interference-aware host picker the cluster
+// layer already runs, now restricted to the chosen zone.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Zone is a named group of hosts, identified by their global indices.
+type Zone struct {
+	Name  string
+	Hosts []int
+}
+
+// Topology is an immutable grouping of N hosts into zones. Every host
+// index in [0, Hosts) belongs to exactly one zone.
+type Topology struct {
+	zones  []Zone
+	zoneOf []int // host index -> zone index
+	hosts  int
+}
+
+// New validates and builds a topology from explicit zones. Host
+// indices must form exactly the range [0, total) with no duplicates,
+// and every zone must be non-empty with a unique name.
+func New(zones []Zone) (*Topology, error) {
+	if len(zones) == 0 {
+		return nil, fmt.Errorf("topology: no zones")
+	}
+	total := 0
+	names := map[string]bool{}
+	for _, z := range zones {
+		if z.Name == "" {
+			return nil, fmt.Errorf("topology: zone with empty name")
+		}
+		if names[z.Name] {
+			return nil, fmt.Errorf("topology: duplicate zone name %q", z.Name)
+		}
+		names[z.Name] = true
+		if len(z.Hosts) == 0 {
+			return nil, fmt.Errorf("topology: zone %q has no hosts", z.Name)
+		}
+		total += len(z.Hosts)
+	}
+	zoneOf := make([]int, total)
+	for i := range zoneOf {
+		zoneOf[i] = -1
+	}
+	for zi, z := range zones {
+		for _, h := range z.Hosts {
+			if h < 0 || h >= total {
+				return nil, fmt.Errorf("topology: zone %q host %d outside [0,%d)", z.Name, h, total)
+			}
+			if zoneOf[h] != -1 {
+				return nil, fmt.Errorf("topology: host %d in both %q and %q", h, zones[zoneOf[h]].Name, z.Name)
+			}
+			zoneOf[h] = zi
+		}
+	}
+	cp := make([]Zone, len(zones))
+	for i, z := range zones {
+		hs := append([]int(nil), z.Hosts...)
+		sort.Ints(hs)
+		cp[i] = Zone{Name: z.Name, Hosts: hs}
+	}
+	return &Topology{zones: cp, zoneOf: zoneOf, hosts: total}, nil
+}
+
+// Uniform builds zones×hostsPerZone hosts grouped contiguously into
+// zones named "z0".."zN-1" — the standard multi-rack shape.
+func Uniform(zones, hostsPerZone int) *Topology {
+	if zones <= 0 || hostsPerZone <= 0 {
+		panic(fmt.Sprintf("topology: Uniform(%d, %d) needs positive dimensions", zones, hostsPerZone))
+	}
+	zs := make([]Zone, zones)
+	for i := range zs {
+		hosts := make([]int, hostsPerZone)
+		for j := range hosts {
+			hosts[j] = i*hostsPerZone + j
+		}
+		zs[i] = Zone{Name: fmt.Sprintf("z%d", i), Hosts: hosts}
+	}
+	t, err := New(zs)
+	if err != nil {
+		panic("topology: " + err.Error()) // unreachable: Uniform shapes are always valid
+	}
+	return t
+}
+
+// Flat is the single-zone degenerate: every host in one zone. A
+// cluster with a Flat topology behaves byte-identically to one with no
+// topology at all.
+func Flat(hosts int) *Topology { return Uniform(1, hosts) }
+
+// Zones returns the zone count.
+func (t *Topology) Zones() int { return len(t.zones) }
+
+// Zone returns zone i.
+func (t *Topology) Zone(i int) Zone { return t.zones[i] }
+
+// ZoneOf returns the zone index of host h.
+func (t *Topology) ZoneOf(h int) int { return t.zoneOf[h] }
+
+// Hosts returns the total host count.
+func (t *Topology) Hosts() int { return t.hosts }
+
+// String renders the shape, e.g. "2 zones × 8 hosts" for a uniform
+// topology or "3 zones / 10 hosts" otherwise.
+func (t *Topology) String() string {
+	per := len(t.zones[0].Hosts)
+	uniform := true
+	for _, z := range t.zones[1:] {
+		if len(z.Hosts) != per {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("%d zones × %d hosts", len(t.zones), per)
+	}
+	return fmt.Sprintf("%d zones / %d hosts", len(t.zones), t.hosts)
+}
+
+// ZoneStats is the cheap aggregate a zone exports to the zone picker —
+// sums and means over its hosts' telemetry, refreshed at the same
+// cadence as the per-host interference signal. The zone level decides
+// from these aggregates alone.
+type ZoneStats struct {
+	// Hosts is the zone's host count.
+	Hosts int
+	// Committed and Capacity are summed committed vCPUs and committed-
+	// vCPU capacity across the zone's hosts.
+	Committed, Capacity int
+	// Busy is the mean measured busy fraction across hosts.
+	Busy float64
+	// Interference is the mean host interference score (weighted
+	// steal + preempt-wait fractions plus LHP rate).
+	Interference float64
+	// Sensitive is the count of resident latency-sensitive VMs.
+	Sensitive int
+	// Cordoned marks a zone that must receive no placements (outage,
+	// drain for maintenance).
+	Cordoned bool
+}
+
+// scarcity maps projected utilization to contention likelihood: free
+// below 50%, certain at saturation. Identical to the host-level curve
+// so the two levels agree on what "scarce" means.
+func scarcity(u float64) float64 {
+	switch {
+	case u <= 0.5:
+		return 0
+	case u >= 1.0:
+		return 1
+	default:
+		return (u - 0.5) / 0.5
+	}
+}
+
+// zoneOverfullPenalty soft-forbids placing into a zone with no
+// committed-vCPU headroom: such a zone is chosen only when every
+// candidate is full.
+const zoneOverfullPenalty = 1000.0
+
+// ZoneScore estimates how bad placing a VM (vcpus wide, with declared
+// pressure, optionally latency-sensitive) into a zone would be. It is
+// the zone-granular mirror of the cluster's per-host placement score:
+// measured contention hurts a sensitive newcomer, the newcomer's
+// pressure hurts resident sensitive VMs only once CPU turns scarce
+// (the scarcity gate), a mild committed-load term breaks ties toward
+// emptier zones, and exceeding capacity costs a large penalty.
+func ZoneScore(z ZoneStats, vcpus int, pressure float64, sensitive bool) float64 {
+	if z.Capacity <= 0 || z.Hosts <= 0 {
+		return zoneOverfullPenalty * 2
+	}
+	perHostCap := float64(z.Capacity) / float64(z.Hosts)
+	uProj := z.Busy + pressure/(perHostCap*float64(z.Hosts))
+	s := 0.05 * float64(z.Committed) / float64(z.Capacity)
+	if sensitive {
+		s += z.Interference
+		if uProj > 0.8 {
+			s += 4 * (uProj - 0.8)
+		}
+	}
+	// Harm to residents is normalized per host: a sensitive VM three
+	// racks away in the same zone is diluted, not multiplied.
+	s += pressure * float64(z.Sensitive) / float64(z.Hosts) * scarcity(uProj)
+	if z.Committed+vcpus > z.Capacity {
+		s += zoneOverfullPenalty
+	}
+	return s
+}
+
+// PickZone ranks zones for an arriving VM and returns the index of the
+// best non-cordoned zone (ties break to the lowest index, keeping
+// placement deterministic). When every zone is cordoned it falls back
+// to ranking all of them — admission must not wedge on a fully
+// cordoned cluster — and returns -1 only for an empty slice.
+func PickZone(stats []ZoneStats, vcpus int, pressure float64, sensitive bool) int {
+	best, bestScore := -1, 0.0
+	for i, z := range stats {
+		if z.Cordoned {
+			continue
+		}
+		s := ZoneScore(z, vcpus, pressure, sensitive)
+		if best == -1 || s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for i, z := range stats {
+		s := ZoneScore(z, vcpus, pressure, sensitive)
+		if best == -1 || s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// ZoneRoute is the router's per-zone aggregate: how many live server
+// replicas the zone holds and their summed outstanding request
+// estimate. The partitioned router keeps one of these per zone instead
+// of a global replica list, so routing state stays zone-local.
+type ZoneRoute struct {
+	// Replicas is the count of live (routable) server replicas.
+	Replicas int
+	// Outstanding is the summed routed-minus-served estimate across
+	// those replicas.
+	Outstanding int64
+	// Cordoned marks a zone the router must fail away from (outage).
+	Cordoned bool
+}
+
+// RouteZone picks the zone for the next request: the lowest mean
+// outstanding work per live replica, skipping cordoned and empty
+// zones; ties break to the lowest zone index. The comparison
+// cross-multiplies instead of dividing so equal means compare exactly.
+// Returns -1 when no zone is routable (the caller buffers).
+func RouteZone(zs []ZoneRoute) int {
+	best := -1
+	var bestOut int64
+	var bestRep int
+	for i, z := range zs {
+		if z.Cordoned || z.Replicas <= 0 {
+			continue
+		}
+		if best == -1 || z.Outstanding*int64(bestRep) < bestOut*int64(z.Replicas) {
+			best, bestOut, bestRep = i, z.Outstanding, z.Replicas
+		}
+	}
+	return best
+}

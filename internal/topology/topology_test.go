@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		zones []Zone
+		want  string // substring of the error; "" = valid
+	}{
+		{"empty", nil, "no zones"},
+		{"unnamed", []Zone{{Name: "", Hosts: []int{0}}}, "empty name"},
+		{"dup-name", []Zone{{Name: "a", Hosts: []int{0}}, {Name: "a", Hosts: []int{1}}}, "duplicate zone name"},
+		{"hostless", []Zone{{Name: "a", Hosts: []int{0}}, {Name: "b", Hosts: nil}}, "no hosts"},
+		{"out-of-range", []Zone{{Name: "a", Hosts: []int{0, 2}}}, "outside"},
+		{"dup-host", []Zone{{Name: "a", Hosts: []int{0}}, {Name: "b", Hosts: []int{0}}}, "in both"},
+		{"valid", []Zone{{Name: "a", Hosts: []int{1, 0}}, {Name: "b", Hosts: []int{2}}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := New(tc.zones)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if topo.Zones() != len(tc.zones) || topo.Hosts() != 3 {
+					t.Fatalf("got %d zones / %d hosts", topo.Zones(), topo.Hosts())
+				}
+				// Host lists come back sorted regardless of input order.
+				if hs := topo.Zone(0).Hosts; hs[0] != 0 || hs[1] != 1 {
+					t.Fatalf("zone 0 hosts not sorted: %v", hs)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	topo := Uniform(2, 8)
+	if topo.Zones() != 2 || topo.Hosts() != 16 {
+		t.Fatalf("got %d zones / %d hosts", topo.Zones(), topo.Hosts())
+	}
+	if got := topo.String(); got != "2 zones × 8 hosts" {
+		t.Fatalf("String() = %q", got)
+	}
+	for h := 0; h < 16; h++ {
+		want := h / 8
+		if topo.ZoneOf(h) != want {
+			t.Fatalf("ZoneOf(%d) = %d, want %d", h, topo.ZoneOf(h), want)
+		}
+	}
+	if name := topo.Zone(1).Name; name != "z1" {
+		t.Fatalf("zone 1 name %q", name)
+	}
+}
+
+func TestFlatIsSingleZone(t *testing.T) {
+	topo := Flat(5)
+	if topo.Zones() != 1 || topo.Hosts() != 5 || topo.ZoneOf(4) != 0 {
+		t.Fatalf("Flat(5) = %v", topo)
+	}
+}
+
+// TestZoneScoreScarcityGate: a newcomer's pressure harms a zone full of
+// sensitive residents only once the zone's projected utilization
+// crosses the 50% scarcity knee — below it, the harm term is zero and
+// the busier-but-roomy zone still wins on the mild committed tiebreak.
+func TestZoneScoreScarcityGate(t *testing.T) {
+	quiet := ZoneStats{Hosts: 4, Committed: 4, Capacity: 24, Busy: 0.2, Sensitive: 8}
+	if got := ZoneScore(quiet, 2, 1.0, false); got > 0.05*4/24+1e-9 {
+		t.Fatalf("harm leaked below scarcity knee: score %v", got)
+	}
+	scarce := quiet
+	scarce.Busy = 0.9
+	lo, hi := ZoneScore(quiet, 2, 1.0, false), ZoneScore(scarce, 2, 1.0, false)
+	if hi <= lo {
+		t.Fatalf("scarce zone must score worse: %v <= %v", hi, lo)
+	}
+	// Same scarcity, fewer sensitive residents → less harm.
+	sparse := scarce
+	sparse.Sensitive = 1
+	if ZoneScore(sparse, 2, 1.0, false) >= hi {
+		t.Fatalf("fewer sensitive residents must lower the score")
+	}
+}
+
+func TestZoneScoreSensitiveAvoidsInterference(t *testing.T) {
+	calm := ZoneStats{Hosts: 2, Committed: 4, Capacity: 12, Busy: 0.4}
+	noisy := calm
+	noisy.Interference = 2.5
+	if ZoneScore(noisy, 2, 0, true) <= ZoneScore(calm, 2, 0, true) {
+		t.Fatal("sensitive VM must score a noisy zone worse")
+	}
+	// An insensitive VM does not care about interference.
+	if ZoneScore(noisy, 2, 0, false) != ZoneScore(calm, 2, 0, false) {
+		t.Fatal("insensitive VM must ignore interference")
+	}
+}
+
+func TestZoneScoreOverfullPenalty(t *testing.T) {
+	full := ZoneStats{Hosts: 2, Committed: 12, Capacity: 12, Busy: 0.5}
+	if ZoneScore(full, 1, 0, false) < zoneOverfullPenalty {
+		t.Fatal("placing past capacity must cost the overfull penalty")
+	}
+	if ZoneScore(ZoneStats{}, 1, 0, false) < zoneOverfullPenalty {
+		t.Fatal("zero-capacity zone must be soft-forbidden")
+	}
+}
+
+func TestPickZone(t *testing.T) {
+	roomy := ZoneStats{Hosts: 4, Committed: 2, Capacity: 24, Busy: 0.1}
+	busy := ZoneStats{Hosts: 4, Committed: 18, Capacity: 24, Busy: 0.9, Sensitive: 4}
+	cases := []struct {
+		name  string
+		stats []ZoneStats
+		want  int
+	}{
+		{"empty", nil, -1},
+		{"prefers-roomy", []ZoneStats{busy, roomy}, 1},
+		{"tie-breaks-low-index", []ZoneStats{roomy, roomy}, 0},
+		{"skips-cordoned", []ZoneStats{{Hosts: 4, Capacity: 24, Cordoned: true}, busy}, 1},
+		{"all-cordoned-falls-back", []ZoneStats{
+			{Hosts: 4, Committed: 18, Capacity: 24, Busy: 0.9, Cordoned: true},
+			{Hosts: 4, Committed: 2, Capacity: 24, Busy: 0.1, Cordoned: true},
+		}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := PickZone(tc.stats, 2, 0.5, true); got != tc.want {
+				t.Fatalf("PickZone = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRouteZone(t *testing.T) {
+	cases := []struct {
+		name string
+		zs   []ZoneRoute
+		want int
+	}{
+		{"empty", nil, -1},
+		{"all-cordoned", []ZoneRoute{{Replicas: 2, Cordoned: true}}, -1},
+		{"no-replicas", []ZoneRoute{{Replicas: 0, Outstanding: 0}}, -1},
+		{"least-mean-outstanding", []ZoneRoute{
+			{Replicas: 2, Outstanding: 10}, // mean 5
+			{Replicas: 4, Outstanding: 12}, // mean 3
+		}, 1},
+		// 10/2 == 5/1: exact tie via cross-multiplication → lowest index.
+		{"tie-breaks-low-index", []ZoneRoute{
+			{Replicas: 2, Outstanding: 10},
+			{Replicas: 1, Outstanding: 5},
+		}, 0},
+		{"fails-over-cordoned", []ZoneRoute{
+			{Replicas: 4, Outstanding: 0, Cordoned: true},
+			{Replicas: 1, Outstanding: 99},
+		}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := RouteZone(tc.zs); got != tc.want {
+				t.Fatalf("RouteZone = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRouteZoneDeterministic: identical queue depths must give an
+// identical pick on every call — the JSQ tie-break is positional, not
+// random or iteration-order dependent.
+func TestRouteZoneDeterministic(t *testing.T) {
+	zs := []ZoneRoute{{Replicas: 3, Outstanding: 9}, {Replicas: 3, Outstanding: 9}, {Replicas: 3, Outstanding: 9}}
+	for i := 0; i < 100; i++ {
+		if got := RouteZone(zs); got != 0 {
+			t.Fatalf("call %d: RouteZone = %d, want 0", i, got)
+		}
+	}
+}

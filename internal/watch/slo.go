@@ -114,6 +114,18 @@ func (m *Monitor) Evaluate(now sim.Time) []Alert {
 // Alerts returns every alert fired so far, in order.
 func (m *Monitor) Alerts() []Alert { return m.alerts }
 
+// AnyFiring reports whether any rule is currently hot — the level
+// signal (as opposed to Evaluate's rising edges) reactive control
+// loops like the cluster's replica autoscaler poll between epochs.
+func (m *Monitor) AnyFiring() bool {
+	for _, f := range m.firing {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
 // Firing reports whether the named rule is currently hot.
 func (m *Monitor) Firing(name string) bool {
 	for i, r := range m.rules {

@@ -57,6 +57,11 @@ type Watcher struct {
 	lastRankings []RankedAggressor
 	lastTriples  []AggressorScore
 
+	// alertHooks observe each alert (without the ranking); unlike the
+	// single-valued OnAlert, any number may register (AddAlertHook) —
+	// the autoscaler listens here without stealing the CLI's slot.
+	alertHooks []func(Alert)
+
 	// OnAlert, when non-nil, observes each alert with the aggressor
 	// ranking computed for it (live CLI output hooks in here).
 	OnAlert func(Alert, []RankedAggressor)
@@ -274,5 +279,19 @@ func (w *Watcher) RunEpoch(now sim.Time) {
 		if w.OnAlert != nil {
 			w.OnAlert(a, ranked)
 		}
+		for _, h := range w.alertHooks {
+			h(a)
+		}
 	}
+}
+
+// AddAlertHook registers fn to observe every alert RunEpoch fires, in
+// registration order, after attribution and OnAlert. Unlike OnAlert it
+// is additive — multiple listeners (autoscaler, tests, CLIs) coexist.
+// A nil *Watcher or nil fn is a no-op.
+func (w *Watcher) AddAlertHook(fn func(Alert)) {
+	if w == nil || fn == nil {
+		return
+	}
+	w.alertHooks = append(w.alertHooks, fn)
 }
