@@ -5,13 +5,13 @@
 GO ?= go
 
 # Committed benchmark baseline for the regression gate (see
-# cmd/benchjson and DESIGN.md §9). BENCH_5 captures the empty-window
-# wake/park skip in the sharded coordinator (DESIGN.md §15).
-BENCH_SNAPSHOT ?= BENCH_5.json
+# cmd/benchjson and DESIGN.md §9). BENCH_6 adds the decision-log
+# paired benchmarks (hot path with/without auditing, DESIGN.md §16).
+BENCH_SNAPSHOT ?= BENCH_6.json
 
-.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch attack scale scale-sweep
+.PHONY: check build vet test race bench bench-compare report fuzz-smoke chaos examples cover blame watch attack scale scale-sweep why
 
-check: build vet race examples blame watch attack scale scale-sweep
+check: build vet race examples blame watch attack scale scale-sweep why
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,7 @@ fuzz-smoke:
 	$(GO) test ./internal/watch -run '^$$' -fuzz FuzzParseRule -fuzztime 5s
 	$(GO) test ./internal/workload -run '^$$' -fuzz FuzzParseAttack -fuzztime 5s
 	$(GO) test ./internal/topology -run '^$$' -fuzz FuzzParseLoadSpec -fuzztime 5s
+	$(GO) test ./internal/decision -run '^$$' -fuzz FuzzParseQuery -fuzztime 5s
 
 # Adversarial-tenant smoke run: the tick-evader vs every accounting
 # defense; the gate fails unless jittered ticks + exact accounting
@@ -93,6 +94,13 @@ scale:
 # and the post-recovery SLO-violation rate is below 1%.
 scale-sweep:
 	$(GO) run ./cmd/irsload -variant 2z8h-outage -expect 1.0
+
+# Decision-provenance smoke run: replay the outage rig with the audit
+# log attached and gate on the exact decision trail (cordon, the first
+# failover route, +2 replicas, then the two drains). The full log lands
+# next to the repo root as decisions.json.
+why:
+	$(GO) run ./cmd/irswhy -expect cordon,failover,scale-up,scale-up,drain,drain -json decisions.json
 
 # Compile and run every example end to end (each also has a unit test
 # exercising its run() body, picked up by `make test`).

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/decision"
 	"repro/internal/sim"
 )
 
@@ -126,12 +127,18 @@ func (c *Cluster) scaleUp() {
 	c.servers = append(c.servers, hd)
 	c.asCreated = append(c.asCreated, hd)
 	c.scaleUps++
+	if c.decCtl.Wants(decision.KindAutoscale) {
+		c.recordScale("up", hd, c.liveReplicas())
+	}
 	c.admit(hd)
 }
 
 // beginDrain cordons hd (the router skips draining replicas) and arms
 // the drain watch. Barrier context.
 func (c *Cluster) beginDrain(hd *VMHandle) {
+	if c.decCtl.Wants(decision.KindAutoscale) {
+		c.recordScale("down", hd, c.liveReplicas())
+	}
 	hd.draining = true
 	c.sh.AtBarrier(c.sh.Now()+c.lookahead, "drain-"+hd.Spec.Name, func() { c.drainCheck(hd) })
 }

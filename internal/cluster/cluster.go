@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/decision"
 	"repro/internal/fault"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
@@ -183,6 +184,16 @@ type Config struct {
 	// noisy-neighbor attribution, and the incident flight recorder
 	// (see internal/watch). Runs without it pay nothing.
 	Watch *watch.Config
+
+	// Decisions, when non-nil, attaches the decision audit log: every
+	// control-plane choice (zone pick, placement, routing, autoscale,
+	// migration, cordon) is recorded with its full candidate set and
+	// inputs, per shard, and merged at barriers under the engine's own
+	// canonical order — so the log is byte-identical at any worker
+	// pool size (see internal/decision). Runs without it pay nothing;
+	// Options.Kinds selects what is recorded (include boost/preempt to
+	// also audit the per-vCPU scheduler stream on every host).
+	Decisions *decision.Options
 
 	// Topology groups the hosts into zones for the two-level control
 	// plane (see zone.go). Nil runs one flat zone — byte-identical to
@@ -422,6 +433,11 @@ type Cluster struct {
 	checker   *invariant.Checker // cluster-level invariants, audited at barriers
 	watcher   *watch.Watcher
 
+	// Decision audit log (nil when Config.Decisions is nil). decCtl is
+	// the control shard's ring, where every cluster-level choice lands.
+	decLog *decision.Log
+	decCtl *decision.Ring
+
 	arrivalRNG  *sim.RNG
 	blackoutRNG *sim.RNG
 
@@ -559,6 +575,12 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 
+	if cfg.Decisions != nil {
+		c.decLog = decision.NewLog(cfg.Hosts+1, *cfg.Decisions)
+		c.decLog.Label(ctlShard, "ctl")
+		c.decCtl = c.decLog.Ring(ctlShard)
+	}
+
 	for i := 0; i < cfg.Hosts; i++ {
 		reg := obs.NewRegistry()
 		var inj *fault.Injector
@@ -575,6 +597,8 @@ func New(cfg Config) (*Cluster, error) {
 		hc.Metrics = reg
 		hc.Faults = inj
 		hc.Seed = cfg.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15
+		c.decLog.Label(i+1, fmt.Sprintf("host%d", i))
+		hc.Decisions = c.decLog.Ring(i + 1)
 		if cfg.TuneHV != nil {
 			cfg.TuneHV(&hc)
 		}
@@ -777,6 +801,9 @@ func (c *Cluster) drain(now sim.Time) {
 		}
 		c.pendingViols = c.pendingViols[:0]
 	}
+	// The decision log merges under the same canonical key as the mail
+	// above: shard index order within the barrier, stable by time.
+	c.decLog.Merge()
 }
 
 // drainOccupancy flushes the hosts' occupancy intervals into the
@@ -804,6 +831,10 @@ func (c *Cluster) Engine() *sim.Engine { return c.ctl }
 // Watcher returns the online SLO watchdog, or nil when Config.Watch
 // was not set.
 func (c *Cluster) Watcher() *watch.Watcher { return c.watcher }
+
+// Decisions returns the decision audit log, or nil when
+// Config.Decisions was not set.
+func (c *Cluster) Decisions() *decision.Log { return c.decLog }
 
 // Hosts returns the rack.
 func (c *Cluster) Hosts() []*Host { return c.hosts }
@@ -902,6 +933,7 @@ func (c *Cluster) Run() (*Result, error) {
 	if c.checker != nil {
 		c.checker.AuditAt(c.sh.Now())
 	}
+	c.decLog.Merge() // records minted after the last barrier
 	return c.result(), nil
 }
 

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"fmt"
+
+	"repro/internal/decision"
 	"repro/internal/hypervisor"
 	"repro/internal/sim"
 )
@@ -92,6 +95,8 @@ func (c *Cluster) maybeMigrate() {
 		candidates = c.zoneOf(hot).hosts
 	}
 	cap := c.capacity()
+	rec := c.decCtl.Wants(decision.KindMigrate)
+	var cands []decision.Candidate
 	var cool *Host
 	var coolScore float64
 	for _, h := range candidates {
@@ -99,6 +104,13 @@ func (c *Cluster) maybeMigrate() {
 			continue
 		}
 		s := c.placementScore(h, victim, cap)
+		if rec {
+			cands = append(cands, decision.Candidate{
+				Name:   h.Name(),
+				Score:  s,
+				Reason: fmt.Sprintf("busy=%.3f intf=%.3f committed=%d", h.busyFrac, h.Interference(), h.committed),
+			})
+		}
 		if cool == nil || s < coolScore {
 			cool, coolScore = h, s
 		}
@@ -110,6 +122,9 @@ func (c *Cluster) maybeMigrate() {
 	// cold rack from dividing near-zero scores).
 	if hot.Score() <= c.cfg.HotThreshold*coolScore+0.02 {
 		return
+	}
+	if rec {
+		c.recordMigrate(victim, hot, cool, cands)
 	}
 	c.startMigration(victim, cool)
 }

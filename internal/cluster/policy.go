@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/decision"
+)
 
 // Policy selects how arriving VMs are placed onto hosts.
 type Policy int
@@ -44,9 +48,6 @@ func PolicyByName(name string) (Policy, bool) {
 	return 0, false
 }
 
-// debugPlace dumps interference-aware placement decisions (tests).
-var debugPlace bool
-
 // overfullPenalty soft-forbids exceeding the committed-vCPU capacity:
 // an over-capacity host is chosen only when every host is over.
 const overfullPenalty = 1000.0
@@ -67,36 +68,40 @@ func (c *Cluster) place(hd *VMHandle) *Host {
 }
 
 // placeAmong runs the configured placement policy over the candidate
-// hosts.
+// hosts and records the choice — with every candidate's score — in the
+// decision log when one is attached.
 func (c *Cluster) placeAmong(hd *VMHandle, hosts []*Host) *Host {
 	n := hd.Spec.VCPUs
 	cap := c.capacity()
+	var best *Host
 	switch c.cfg.Policy {
 	case FirstFit:
 		for _, h := range hosts {
 			if h.committed+n <= cap {
-				return h
+				best = h
+				break
 			}
 		}
-		return leastCommitted(hosts)
+		if best == nil {
+			best = leastCommitted(hosts)
+		}
 	case InterferenceAware:
 		// Act on a fresh window rather than the last monitor tick.
 		c.refreshSignals()
-		best, bestScore := (*Host)(nil), 0.0
+		bestScore := 0.0
 		for _, h := range hosts {
 			s := c.placementScore(h, hd, cap)
-			if debugPlace {
-				fmt.Printf("  t=%v place %s: %s score=%.3f (busy=%.3f steal=%.3f wait=%.3f lhp=%.1f sens=%d committed=%d)\n",
-					c.sh.Now(), hd.Spec.Name, h.Name(), s, h.busyFrac, h.stealFrac, h.waitFrac, h.lhpRate, h.sensitive, h.committed)
-			}
 			if best == nil || s < bestScore {
 				best, bestScore = h, s
 			}
 		}
-		return best
 	default: // LeastLoaded
-		return leastCommitted(hosts)
+		best = leastCommitted(hosts)
 	}
+	if c.decCtl.Wants(decision.KindPlace) {
+		c.recordPlace(hd, hosts, best, cap)
+	}
+	return best
 }
 
 // leastCommitted returns the candidate host with the fewest committed

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"repro/internal/decision"
 	"repro/internal/sim"
 	"repro/internal/span"
 	"repro/internal/topology"
@@ -62,15 +63,20 @@ func (c *Cluster) nextArrival() {
 // post the delivery to its host's shard one transit latency out.
 func (c *Cluster) route(req workload.Request) {
 	z := c.zones[0]
+	failover := false
 	if len(c.zones) > 1 {
 		zi := topology.RouteZone(c.zoneRoutes())
 		if zi < 0 {
+			if c.decCtl.Wants(decision.KindRoute) {
+				c.recordRouteBuffered(req, "no routable zone")
+			}
 			c.buffered = append(c.buffered, req)
 			return
 		}
 		z = c.zones[zi]
 		if c.cordonedZones > 0 {
 			c.failoverRouted++
+			failover = true
 		}
 	}
 	var best *VMHandle
@@ -85,8 +91,14 @@ func (c *Cluster) route(req workload.Request) {
 		}
 	}
 	if best == nil {
+		if c.decCtl.Wants(decision.KindRoute) {
+			c.recordRouteBuffered(req, "no live replica in "+z.name)
+		}
 		c.buffered = append(c.buffered, req)
 		return
+	}
+	if c.decCtl.Wants(decision.KindRoute) {
+		c.recordRoute(req, z, best, failover)
 	}
 	z.routed++
 	best.routed++

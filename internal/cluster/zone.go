@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/decision"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -113,7 +114,11 @@ func (c *Cluster) pickZone(hd *VMHandle) int {
 		st = append(st, zs)
 	}
 	c.zoneStatScratch = st
-	return topology.PickZone(st, hd.Spec.VCPUs, hd.Spec.Pressure, hd.Spec.Sensitive)
+	zi := topology.PickZone(st, hd.Spec.VCPUs, hd.Spec.Pressure, hd.Spec.Sensitive)
+	if c.decCtl.Wants(decision.KindZonePick) {
+		c.recordZonePick(hd, st, zi)
+	}
+	return zi
 }
 
 // startZoneOutage cordons the zone and blacks out its hosts: every
@@ -126,6 +131,9 @@ func (c *Cluster) startZoneOutage(z *zoneState, dur sim.Time) {
 	z.cordoned = true
 	c.cordonedZones++
 	c.zoneOutageCount++
+	if c.decCtl.Wants(decision.KindCordon) {
+		c.recordCordon(z, dur)
+	}
 	for _, h := range z.hosts {
 		for _, vm := range h.HV.VMs() {
 			for _, v := range vm.VCPUs {
@@ -143,6 +151,9 @@ func (c *Cluster) endZoneOutage(z *zoneState) {
 	}
 	z.cordoned = false
 	c.cordonedZones--
+	if c.decCtl.Wants(decision.KindUncordon) {
+		c.recordUncordon(z)
+	}
 	// Requests buffered while every zone was dark can flow again.
 	c.flushBuffered()
 }

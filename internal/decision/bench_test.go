@@ -1,0 +1,54 @@
+package decision
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkRingAdd is the enabled-path cost of one recorded decision
+// (the Record itself is prebuilt here; producers additionally pay for
+// candidate formatting, which Wants gates off when disabled).
+func BenchmarkRingAdd(b *testing.B) {
+	l := NewLog(1, Options{PerShard: 4096})
+	r := l.Ring(0)
+	rec := Record{At: 1, Kind: KindRoute, Subject: "srv0", Winner: "srv0"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.At = sim.Time(i)
+		r.Add(rec)
+	}
+}
+
+// BenchmarkRingWantsDisabled is the disabled-path cost every hook site
+// pays: one mask test.
+func BenchmarkRingWantsDisabled(b *testing.B) {
+	var r *Ring
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = r.Wants(KindRoute)
+	}
+	_ = sink
+}
+
+// BenchmarkLogMerge is one barrier merge of a typical batch (16 shards,
+// a few records each).
+func BenchmarkLogMerge(b *testing.B) {
+	l := NewLog(16, Options{PerShard: 64, Total: 1 << 10})
+	rec := Record{Kind: KindRoute, Subject: "srv0"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 16; s++ {
+			rec.At = sim.Time(i*16 + s)
+			l.Ring(s).Add(rec)
+		}
+		l.Merge()
+		if len(l.merged) >= 1<<10 {
+			l.merged = l.merged[:0] // keep the bound from dominating
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package decision
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseQuery pins the parser's two contracts: it never panics on
+// arbitrary input, and every accepted query round-trips through its
+// canonical String form to an identical Query.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"all",
+		"kind=place",
+		"kind=place,route vm=t3 t>40ms",
+		"kind=zone-pick,autoscale chooser=ctl winner=host2",
+		"vm=srv0#2 t>1.5ms t<2s",
+		"t<6s",
+		"kind=boost,preempt vm=ant1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q1, err := ParseQuery(s)
+		if err != nil {
+			return
+		}
+		canon := q1.String()
+		q2, err := ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("round trip of %q: %+v != %+v", s, q1, q2)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("String not a fixed point: %q -> %q", canon, got)
+		}
+	})
+}

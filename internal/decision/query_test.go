@@ -1,0 +1,121 @@
+package decision
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseQueryBasics(t *testing.T) {
+	q, err := ParseQuery("kind=place vm=t3 t>40ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Kinds) != 1 || q.Kinds[0] != KindPlace || q.VM != "t3" || q.After != 40*sim.Millisecond {
+		t.Fatalf("parsed %+v", q)
+	}
+	if got := q.String(); got != "kind=place vm=t3 t>40ms" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseQueryZeroForms(t *testing.T) {
+	for _, s := range []string{"", "  ", "all"} {
+		q, err := ParseQuery(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if !reflect.DeepEqual(q, Query{}) {
+			t.Fatalf("%q parsed to %+v", s, q)
+		}
+	}
+	if (Query{}).String() != "all" {
+		t.Fatalf("zero query renders %q", (Query{}).String())
+	}
+}
+
+func TestParseQueryCanonicalKindOrder(t *testing.T) {
+	q, err := ParseQuery("kind=route,place chooser=ctl winner=host2 t<6s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "kind=place,route chooser=ctl winner=host2 t<6s" {
+		t.Fatalf("canonical form = %q", got)
+	}
+}
+
+func TestParseQueryRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"all",
+		"kind=place",
+		"kind=place,route,boost vm=srv0",
+		"chooser=host3 t>1.5ms t<2s",
+		"winner=z1",
+	} {
+		q1, err := ParseQuery(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		q2, err := ParseQuery(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("%q: %+v != reparsed %+v", s, q1, q2)
+		}
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, s := range []string{
+		"kind=bogus",
+		"kind=place,place",
+		"vm=",
+		"unknownkey=x",
+		"vm=a vm=b",
+		"t>oops",
+		"t>-5ms",
+		"t>2s t<1s",
+		"t>1s t<1s",
+		"noequals",
+	} {
+		if _, err := ParseQuery(s); err == nil {
+			t.Errorf("%q parsed without error", s)
+		}
+	}
+}
+
+func TestQueryMatch(t *testing.T) {
+	recs := []Record{
+		{At: 10 * sim.Millisecond, Kind: KindPlace, Chooser: "ctl", Subject: "srv0", Winner: "host1"},
+		{At: 50 * sim.Millisecond, Kind: KindRoute, Chooser: "ctl", Subject: "srv0#2", Winner: "srv0#2"},
+		{At: 90 * sim.Millisecond, Kind: KindBoost, Chooser: "host1", Subject: "ant1", Winner: "ant1/v0"},
+	}
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"all", 3},
+		{"kind=place", 1},
+		{"kind=place,route", 2},
+		{"vm=srv0", 2}, // migration generation srv0#2 matches too
+		{"vm=srv0#2", 1},
+		{"chooser=host1", 1},
+		{"winner=host1", 1},
+		{"t>10ms", 2}, // strict: the 10ms record is excluded
+		{"t<50ms", 1},
+		{"t>10ms t<90ms", 1},
+		{"kind=route vm=srv0 chooser=ctl", 1},
+		{"vm=ant1 kind=place", 0},
+	}
+	for _, c := range cases {
+		q, err := ParseQuery(c.q)
+		if err != nil {
+			t.Fatalf("%q: %v", c.q, err)
+		}
+		if got := len(Filter(recs, q)); got != c.want {
+			t.Errorf("%q matched %d records, want %d", c.q, got, c.want)
+		}
+	}
+}

@@ -390,6 +390,8 @@ func ByID(id string, opt Options) (Table, bool) {
 		return Attack(opt), true
 	case "scale":
 		return Scale(opt), true
+	case "why":
+		return Why(opt), true
 	default:
 		return Table{}, false
 	}
@@ -401,5 +403,5 @@ func IDs() []string {
 	return []string{"fig1a", "fig1b", "fig2", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "sadelay",
 		"ab-pull", "ab-salimit", "ab-ticket", "ab-spinblock", "ab-strictco",
-		"claims", "obs", "chaos", "cluster", "blame", "watch", "attack", "scale"}
+		"claims", "obs", "chaos", "cluster", "blame", "watch", "attack", "scale", "why"}
 }

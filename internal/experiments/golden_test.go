@@ -22,7 +22,7 @@ func goldenOptions() Options {
 }
 
 func goldenIDs() []string {
-	return []string{"fig1a", "fig1b", "claims", "chaos", "cluster", "blame", "watch", "attack", "scale"}
+	return []string{"fig1a", "fig1b", "claims", "chaos", "cluster", "blame", "watch", "attack", "scale", "why"}
 }
 
 func TestGoldenTables(t *testing.T) {

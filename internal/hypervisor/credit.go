@@ -1,6 +1,7 @@
 package hypervisor
 
 import (
+	"repro/internal/decision"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -451,13 +452,17 @@ func (h *Hypervisor) deschedule(p *PCPU, disposition RunState, involuntary bool)
 	if involuntary {
 		v.preemptions++
 		v.mPreempt.Inc()
-		switch v.ctx.Descheduling() {
+		pc := v.ctx.Descheduling()
+		switch pc {
 		case PreemptLockHolder:
 			v.VM.LHPCount++
 			v.VM.mLHP.Inc()
 		case PreemptLockWaiter:
 			v.VM.LWPCount++
 			v.VM.mLWP.Inc()
+		}
+		if d := h.cfg.Decisions; d.Wants(decision.KindPreempt) {
+			h.recordPreempt(d, now, p, v, pc, disposition)
 		}
 	}
 	if h.cfg.ExactAccounting {
@@ -501,6 +506,9 @@ func (h *Hypervisor) WakeVCPU(v *VCPU) {
 		v.prio = PrioBoost
 		v.VM.BoostGrants++
 		v.VM.mBoost.Inc()
+		if d := h.cfg.Decisions; d.Wants(decision.KindBoost) {
+			h.recordBoost(d, v)
+		}
 	}
 	p := h.placeVCPU(v)
 	if p != v.assigned {

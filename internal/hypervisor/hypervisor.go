@@ -3,6 +3,7 @@ package hypervisor
 import (
 	"fmt"
 
+	"repro/internal/decision"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -128,6 +129,13 @@ type Config struct {
 	// context switches, and work-steal activity. Nil (the default)
 	// disables collection entirely.
 	Metrics *obs.Registry
+
+	// Decisions, when non-nil, records the credit scheduler's BOOST
+	// grants and involuntary preemptions into the cluster-wide
+	// decision log (kinds boost and preempt; see internal/decision).
+	// Nil — or a ring whose kind mask excludes both — costs one
+	// nil-and-mask test per hook and allocates nothing.
+	Decisions *decision.Ring
 
 	Seed uint64
 }

@@ -103,6 +103,20 @@ const (
 	PreemptIdle
 )
 
+func (c PreemptClass) String() string {
+	switch c {
+	case PreemptOther:
+		return "other"
+	case PreemptLockHolder:
+		return "lock-holder"
+	case PreemptLockWaiter:
+		return "lock-waiter"
+	case PreemptIdle:
+		return "idle"
+	}
+	return fmt.Sprintf("PreemptClass(%d)", int(c))
+}
+
 // VCPU is one virtual CPU of a VM.
 type VCPU struct {
 	ID  int
